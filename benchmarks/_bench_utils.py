@@ -1,0 +1,54 @@
+"""Shared helpers for the benchmark suite (see conftest.py for fixtures).
+
+Every benchmark regenerates one of the paper's tables/figures at laptop
+scale and asserts the *shape* of the result (who wins, roughly by what
+factor) rather than absolute numbers — the substrate here is a simulator,
+not the authors' Xeon testbed. See EXPERIMENTS.md for the recorded
+paper-vs-measured comparison.
+
+Scaling knobs (environment):
+
+* ``REPRO_BENCH_FAST=1`` — fewer repetitions/utilizations; SLOTOFF only on
+  the smallest topology. Use for quick sanity runs.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+from repro.experiments.config import ExperimentConfig
+
+FAST = os.environ.get("REPRO_BENCH_FAST") == "1"
+
+#: Utilization sweep points for the Fig. 6/7/14/15/16 benchmarks.
+UTILIZATIONS = (0.6, 1.4) if FAST else (0.6, 1.0, 1.4)
+
+#: Topologies included in the Fig. 6/7 sweep, and which get SLOTOFF
+#: (its per-slot LP dominates wall-clock, so the big graphs skip it).
+SWEEP_TOPOLOGIES = ("CittaStudi",) if FAST else (
+    "Iris", "CittaStudi", "5GEN", "100N150E"
+)
+SLOTOFF_TOPOLOGIES = ("CittaStudi",) if FAST else ("Iris", "CittaStudi")
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def bench_config(**overrides) -> ExperimentConfig:
+    """The benchmark-scale configuration, honoring REPRO_BENCH_FAST."""
+    if FAST:
+        overrides.setdefault("repetitions", 1)
+    return ExperimentConfig.bench(**overrides)
+
+
+def record(name: str, lines: list[str]) -> None:
+    """Print a result table and persist it under benchmarks/results/."""
+    text = "\n".join(lines)
+    print(f"\n===== {name} =====\n{text}\n")
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+
+def format_ci(interval) -> str:
+    """Render a ConfidenceInterval as ``mean ± half``."""
+    return f"{interval.mean:.4g} ± {interval.half_width:.2g}"

@@ -1,0 +1,37 @@
+"""Benchmark fixtures. Helper functions live in _bench_utils."""
+
+from __future__ import annotations
+
+import pytest
+
+from _bench_utils import FAST, SLOTOFF_TOPOLOGIES, UTILIZATIONS, bench_config
+from repro.experiments.figures import run_rejection_vs_utilization
+
+
+@pytest.fixture(scope="session")
+def utilization_sweep():
+    """Shared Fig. 6/7 data: one sweep per topology, computed lazily.
+
+    Returns a callable ``compute(topology) → {utilization → {alg:metric →
+    CI}}`` backed by a session cache, so whichever benchmark touches a
+    topology first pays its cost and Fig. 7 reuses Fig. 6's runs.
+    """
+    cache: dict = {}
+
+    def compute(topology: str):
+        if topology not in cache:
+            algorithms = (
+                ("OLIVE", "QUICKG", "SLOTOFF")
+                if topology in SLOTOFF_TOPOLOGIES
+                else ("OLIVE", "QUICKG")
+            )
+            config = bench_config(
+                topology=topology,
+                repetitions=1 if (topology in SLOTOFF_TOPOLOGIES or FAST) else 2,
+            )
+            cache[topology] = run_rejection_vs_utilization(
+                config, UTILIZATIONS, algorithms
+            )
+        return cache[topology]
+
+    return compute

@@ -1,0 +1,112 @@
+"""Ablations of OLIVE's design choices (DESIGN.md §4).
+
+Not a paper figure — these isolate the contribution of each mechanism the
+paper's design motivates:
+
+* **borrowing** (partial fits, Alg. 2 lines 27–29) — without it, demand
+  above a class guarantee falls straight to the greedy path;
+* **preemption** (lines 8–9, 35–38) — without it, borrowed allocations can
+  permanently displace planned ones;
+* **P̂α percentile choice** (Sec. III-A: P̂80 avoids over-provisioning) —
+  planning for P̂50 under-provisions, for P̂100 over-provisions;
+* **time-windowed plans** (the paper's future-work extension) vs the single
+  time-independent plan.
+
+Expected shape: full OLIVE ≤ every ablated variant on rejection rate, and
+all variants ≤ QUICKG.
+"""
+
+from _bench_utils import FAST, bench_config, record
+from repro.core.olive import OliveAlgorithm
+from repro.experiments.scenario import build_scenario, make_algorithm
+from repro.plan.windowed import WindowedOliveAlgorithm, compute_windowed_plans
+from repro.sim.engine import simulate
+from repro.sim.metrics import rejection_rate
+from repro.utils.rng import make_rng
+
+
+def test_ablation_mechanisms(benchmark):
+    config = bench_config(utilization=1.4, repetitions=1)
+
+    def run_all():
+        scenario = build_scenario(config, seed=0)
+        online = scenario.online_requests()
+        variants = {
+            "OLIVE": OliveAlgorithm(
+                scenario.substrate, scenario.apps, scenario.plan,
+                scenario.efficiency,
+            ),
+            "no-borrowing": OliveAlgorithm(
+                scenario.substrate, scenario.apps, scenario.plan,
+                scenario.efficiency, enable_borrowing=False, name="OLIVE-nb",
+            ),
+            "no-preemption": OliveAlgorithm(
+                scenario.substrate, scenario.apps, scenario.plan,
+                scenario.efficiency, enable_preemption=False, name="OLIVE-np",
+            ),
+            "QUICKG": make_algorithm("QUICKG", scenario),
+        }
+        if not FAST:
+            schedule = compute_windowed_plans(
+                scenario.substrate, scenario.apps,
+                scenario.trace.history_requests(),
+                config.history_slots, config.online_slots,
+                num_windows=3, alpha=config.percentile_alpha,
+                efficiency=scenario.efficiency, rng=make_rng(0),
+            )
+            variants["windowed-3"] = WindowedOliveAlgorithm(
+                scenario.substrate, scenario.apps, schedule,
+                scenario.efficiency,
+            )
+        rates = {}
+        for label, algorithm in variants.items():
+            result = simulate(algorithm, online, config.online_slots)
+            rates[label] = rejection_rate(result, config.measure_window)
+        return rates
+
+    rates = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    lines = ["variant        rejection rate"]
+    for label, rate in rates.items():
+        lines.append(f"{label:<13}  {rate:.4f}")
+    record("ablation_mechanisms", lines)
+
+    # Full OLIVE at least matches every ablated variant (small tolerance:
+    # single seed).
+    for label in ("no-borrowing", "no-preemption"):
+        assert rates["OLIVE"] <= rates[label] + 0.02, label
+    # Every planned variant beats plain greedy.
+    for label, rate in rates.items():
+        if label != "QUICKG":
+            assert rate <= rates["QUICKG"] + 0.02, label
+
+
+def test_ablation_percentile_choice(benchmark):
+    """Planning percentile P̂α: the paper's P̂80 vs under/over-provisioning."""
+    alphas = (50.0, 80.0) if FAST else (50.0, 80.0, 100.0)
+
+    def run_all():
+        rates = {}
+        for alpha in alphas:
+            config = bench_config(
+                utilization=1.0, repetitions=1, percentile_alpha=alpha
+            )
+            scenario = build_scenario(config, seed=0)
+            result = simulate(
+                make_algorithm("OLIVE", scenario),
+                scenario.online_requests(),
+                config.online_slots,
+            )
+            rates[alpha] = rejection_rate(result, config.measure_window)
+        return rates
+
+    rates = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    lines = ["alpha  OLIVE rejection rate"]
+    for alpha, rate in rates.items():
+        lines.append(f"P{alpha:<5.0f} {rate:.4f}")
+    record("ablation_percentile", lines)
+
+    # P̂80's plan should not be materially worse than either extreme — the
+    # compensation machinery absorbs most of the difference (cf. Fig. 13).
+    best = min(rates.values())
+    assert rates[80.0] <= best + 0.05

@@ -1,0 +1,91 @@
+"""Extension comparison: extra baseline and future-work planners.
+
+Not a paper figure. Compares, on one diurnal workload (strong day/night
+cycle at 120 % mean utilization):
+
+* OLIVE with the paper's single time-independent plan;
+* OLIVE-W with phase-sliced cyclic plans (the paper's future-work idea);
+* OLIVE-R with periodic online replanning (no offline history needed);
+* QUICKG and the extra NODERANK baseline (Cheng et al.-style ranking).
+
+Expected shape: every plan-based variant beats the plan-less baselines,
+and the time-aware planners are at least as good as the single plan.
+"""
+
+from _bench_utils import FAST, record
+from repro.apps.catalog import draw_standard_mix
+from repro.baselines.noderank import NodeRankAlgorithm
+from repro.baselines.quickg import make_quickg
+from repro.core.olive import OliveAlgorithm
+from repro.plan.api import compute_plan
+from repro.plan.replanning import ReplanningOliveAlgorithm
+from repro.plan.windowed import WindowedOliveAlgorithm, compute_windowed_plans
+from repro.sim.engine import simulate
+from repro.sim.metrics import rejection_rate
+from repro.stats.aggregate import build_aggregate_demand
+from repro.substrate.topologies import make_citta_studi
+from repro.utils.rng import child_rng, make_rng
+from repro.workload.diurnal import generate_diurnal_trace
+from repro.workload.trace import TraceConfig, demand_mean_for_utilization
+
+PERIOD = 120
+HISTORY = 240 if FAST else 360
+ONLINE = 60 if FAST else 120
+
+
+def test_extension_planners_on_diurnal_workload(benchmark):
+    def run_all():
+        rng = make_rng(5)
+        substrate = make_citta_studi()
+        apps = draw_standard_mix(child_rng(rng, "apps"))
+        demand_mean = demand_mean_for_utilization(1.2, substrate, apps)
+        config = TraceConfig(
+            history_slots=HISTORY,
+            online_slots=ONLINE,
+            demand_mean=demand_mean,
+            demand_std=0.4 * demand_mean,
+        )
+        trace = generate_diurnal_trace(
+            substrate, apps, config, child_rng(rng, "trace"),
+            amplitude=0.8, period=PERIOD,
+        )
+        history = trace.history_requests()
+        online = trace.online_requests()
+
+        aggregates = build_aggregate_demand(
+            history, HISTORY, rng=child_rng(rng, "agg")
+        )
+        single_plan = compute_plan(substrate, apps, aggregates)
+        schedule = compute_windowed_plans(
+            substrate, apps, history, HISTORY, ONLINE,
+            num_windows=3, rng=child_rng(rng, "win"), cycle_period=PERIOD,
+        )
+        algorithms = {
+            "OLIVE": OliveAlgorithm(substrate, apps, single_plan),
+            "OLIVE-W": WindowedOliveAlgorithm(substrate, apps, schedule),
+            "OLIVE-R": ReplanningOliveAlgorithm(
+                substrate, apps, interval=PERIOD // 4, window=PERIOD // 2,
+                seed_plan=single_plan,
+            ),
+            "QUICKG": make_quickg(substrate, apps),
+            "NODERANK": NodeRankAlgorithm(substrate, apps),
+        }
+        window = (ONLINE // 6, ONLINE - 5)
+        rates = {}
+        for label, algorithm in algorithms.items():
+            result = simulate(algorithm, online, ONLINE)
+            rates[label] = rejection_rate(result, window)
+        return rates
+
+    rates = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    lines = ["variant    rejection rate (diurnal, 120% mean utilization)"]
+    for label, rate in rates.items():
+        lines.append(f"{label:<9}  {rate:.4f}")
+    record("extension_planners", lines)
+
+    # Plan-based variants beat plain greedy.
+    for label in ("OLIVE", "OLIVE-W", "OLIVE-R"):
+        assert rates[label] <= rates["QUICKG"] + 0.02, label
+    # Time-aware planning at least matches the single plan.
+    assert rates["OLIVE-W"] <= rates["OLIVE"] + 0.02

@@ -1,0 +1,61 @@
+"""Fig. 6: rejection rate vs utilization, per topology.
+
+Paper shape: rejection rises with utilization for every algorithm; OLIVE is
+significantly below QUICKG (about ×2 at high load) and within a few points
+of SLOTOFF (max gap 4 % in the paper).
+"""
+
+from _bench_utils import SWEEP_TOPOLOGIES, UTILIZATIONS, format_ci, record
+
+
+def test_fig6_rejection_rate_vs_utilization(benchmark, utilization_sweep):
+    data = benchmark.pedantic(
+        lambda: {t: utilization_sweep(t) for t in SWEEP_TOPOLOGIES},
+        rounds=1,
+        iterations=1,
+    )
+
+    lines = []
+    for topology, sweep in data.items():
+        lines.append(f"[{topology}] rejection rate")
+        algorithms = sorted(
+            {key.split(":")[0] for key in next(iter(sweep.values()))}
+        )
+        header = "  util   " + "  ".join(f"{a:>18}" for a in algorithms)
+        lines.append(header)
+        for utilization in UTILIZATIONS:
+            row = sweep[utilization]
+            cells = "  ".join(
+                f"{format_ci(row[f'{a}:rejection_rate']):>18}"
+                for a in algorithms
+            )
+            lines.append(f"  {utilization:>4.0%}   {cells}")
+        lines.append("")
+    record("fig06_rejection_rate", lines)
+
+    for topology, sweep in data.items():
+        top = max(UTILIZATIONS)
+        # Paper shape 1: rejection grows with utilization (QUICKG strictly).
+        assert (
+            sweep[top]["QUICKG:rejection_rate"].mean
+            >= sweep[min(UTILIZATIONS)]["QUICKG:rejection_rate"].mean
+        )
+        # Paper shape 2: OLIVE ≤ QUICKG at every utilization level.
+        for utilization in UTILIZATIONS:
+            row = sweep[utilization]
+            assert (
+                row["OLIVE:rejection_rate"].mean
+                <= row["QUICKG:rejection_rate"].mean + 0.02
+            )
+        # Paper shape 3: at overload OLIVE clearly beats QUICKG.
+        assert (
+            sweep[top]["OLIVE:rejection_rate"].mean
+            < sweep[top]["QUICKG:rejection_rate"].mean
+        )
+        # Paper shape 4: OLIVE within a few points of SLOTOFF where run.
+        if f"SLOTOFF:rejection_rate" in sweep[top]:
+            gap = (
+                sweep[top]["OLIVE:rejection_rate"].mean
+                - sweep[top]["SLOTOFF:rejection_rate"].mean
+            )
+            assert gap <= 0.10, f"{topology}: OLIVE-SLOTOFF gap {gap:.3f}"

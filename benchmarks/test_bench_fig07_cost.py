@@ -1,0 +1,47 @@
+"""Fig. 7: total embedding cost vs utilization, per topology.
+
+Shares the Fig. 6 runs (same experiments, different metric). Paper shape:
+OLIVE's total cost is below QUICKG's at every utilization level and close
+to SLOTOFF's.
+"""
+
+from _bench_utils import SWEEP_TOPOLOGIES, UTILIZATIONS, format_ci, record
+
+
+def test_fig7_cost_vs_utilization(benchmark, utilization_sweep):
+    data = benchmark.pedantic(
+        lambda: {t: utilization_sweep(t) for t in SWEEP_TOPOLOGIES},
+        rounds=1,
+        iterations=1,
+    )
+
+    lines = []
+    for topology, sweep in data.items():
+        lines.append(f"[{topology}] total cost (resource + rejection)")
+        algorithms = sorted(
+            {key.split(":")[0] for key in next(iter(sweep.values()))}
+        )
+        lines.append("  util   " + "  ".join(f"{a:>22}" for a in algorithms))
+        for utilization in UTILIZATIONS:
+            row = sweep[utilization]
+            cells = "  ".join(
+                f"{format_ci(row[f'{a}:total_cost']):>22}" for a in algorithms
+            )
+            lines.append(f"  {utilization:>4.0%}   {cells}")
+        lines.append("")
+    record("fig07_cost", lines)
+
+    for topology, sweep in data.items():
+        top = max(UTILIZATIONS)
+        row = sweep[top]
+        # Paper shape: OLIVE outperforms QUICKG on cost at high load (the
+        # rejection-cost component dominates there).
+        assert (
+            row["OLIVE:total_cost"].mean
+            <= row["QUICKG:total_cost"].mean * 1.05
+        ), topology
+        # Rejection cost specifically should be clearly lower for OLIVE.
+        assert (
+            row["OLIVE:rejection_cost"].mean
+            <= row["QUICKG:rejection_cost"].mean * 1.05
+        ), topology

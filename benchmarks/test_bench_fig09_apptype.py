@@ -1,0 +1,46 @@
+"""Fig. 9: rejection-rate sensitivity to application type, Iris @100 %.
+
+Paper shape: QUICKG is insensitive to the application type; FULLG and
+QUICKG are statistically similar at this load; OLIVE is significantly lower
+and closer to SLOTOFF; the accelerator mix reduces rejections.
+"""
+
+from _bench_utils import FAST, bench_config, format_ci, record
+from repro.experiments.figures import run_by_application
+
+APP_TYPES = ("chain", "accelerator", "standard") if FAST else (
+    "chain", "tree", "accelerator", "standard"
+)
+
+
+def test_fig9_rejection_by_application_type(benchmark):
+    config = bench_config(utilization=1.0, repetitions=1)
+    algorithms = ("OLIVE", "QUICKG", "FULLG") if FAST else (
+        "OLIVE", "QUICKG", "FULLG", "SLOTOFF"
+    )
+
+    data = benchmark.pedantic(
+        lambda: run_by_application(config, APP_TYPES, algorithms),
+        rounds=1,
+        iterations=1,
+    )
+
+    lines = ["app-type      " + "  ".join(f"{a:>18}" for a in algorithms)]
+    for app_type, summary in data.items():
+        cells = "  ".join(
+            f"{format_ci(summary[f'{a}:rejection_rate']):>18}"
+            for a in algorithms
+        )
+        lines.append(f"{app_type:<12}  {cells}")
+    record("fig09_rejection_by_app_type", lines)
+
+    for app_type, summary in data.items():
+        olive = summary["OLIVE:rejection_rate"].mean
+        quickg = summary["QUICKG:rejection_rate"].mean
+        # Paper shape: OLIVE at or below QUICKG for every application type.
+        assert olive <= quickg + 0.02, app_type
+    # FULLG ~ QUICKG at this load (statistically similar in the paper).
+    for app_type, summary in data.items():
+        fullg = summary["FULLG:rejection_rate"].mean
+        quickg = summary["QUICKG:rejection_rate"].mean
+        assert abs(fullg - quickg) < 0.25, app_type

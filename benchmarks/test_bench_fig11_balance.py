@@ -1,0 +1,42 @@
+"""Fig. 11: rejection balance index vs number of quantiles, Iris @140 %.
+
+Paper shape: QUICKG (no planning) is the least balanced (0.53); OLIVE's
+balance improves with the quantile count (0.65 @P=1, 0.84 @P=2, 0.89
+@P=10) and saturates beyond P=10.
+"""
+
+from _bench_utils import FAST, bench_config, format_ci, record
+from repro.experiments.figures import run_balance_quantiles
+
+QUANTILES = (1, 10) if FAST else (1, 2, 10, 50)
+
+
+def test_fig11_balance_index_by_quantiles(benchmark):
+    config = bench_config(utilization=1.4, repetitions=1)
+
+    summary = benchmark.pedantic(
+        lambda: run_balance_quantiles(config, QUANTILES),
+        rounds=1,
+        iterations=1,
+    )
+
+    lines = ["variant       balance index"]
+    for name, interval in summary.items():
+        lines.append(f"{name:<12}  {format_ci(interval)}")
+    record("fig11_balance_quantiles", lines)
+
+    p_low = summary[f"OLIVE:P={QUANTILES[0]}"].mean
+    p_high = summary["OLIVE:P=10"].mean
+    # Paper shape 1: OLIVE with many quantiles is well balanced.
+    assert p_high >= 0.8
+    # Paper shape 2: more quantiles do not hurt balance.
+    assert p_high >= p_low - 0.05
+    if not FAST:
+        # Paper shape 3: P=50 brings no further improvement over P=10.
+        p10, p50 = summary["OLIVE:P=10"].mean, summary["OLIVE:P=50"].mean
+        assert abs(p50 - p10) < 0.1
+    # Note: the paper's QUICKG imbalance (index 0.53) does not reproduce at
+    # bench scale — our QUICKG rejections are link-congestion-driven and
+    # hence application-symmetric. Reported in the table and discussed in
+    # EXPERIMENTS.md; the quantile trend for OLIVE is the load-bearing
+    # claim and does reproduce.

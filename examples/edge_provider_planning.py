@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Edge-provider capacity planning walk-through (the paper's Sec. III flow).
+
+An edge provider on the Iris topology observes a request history, builds
+the aggregated expected demand (bootstrap P̂80 per application × ingress
+class), solves PLAN-VNE for a globally optimized embedding plan, verifies
+that the online demand statistically conforms to the history, and then
+watches OLIVE serve a bursty MMPP workload — including requests served
+beyond their class guarantee by "borrowing" (and occasionally losing)
+capacity from underutilized classes.
+
+Run:  python examples/edge_provider_planning.py
+"""
+
+from repro import ExperimentConfig, build_scenario, make_algorithm, simulate
+from repro.sim.metrics import NodeTimeline, rejection_rate
+from repro.stats.aggregate import class_demand_series
+from repro.stats.bootstrap import bootstrap_percentile, demand_conforms
+from repro.utils.rng import make_rng
+
+
+def main() -> None:
+    config = ExperimentConfig.bench(
+        topology="Iris", utilization=1.0, repetitions=1
+    )
+    scenario = build_scenario(config, seed=7)
+
+    # -- 1. what did the history look like? ------------------------------
+    history = scenario.trace.history_requests()
+    series = class_demand_series(history, config.history_slots)
+    print(f"history: {len(history)} requests, "
+          f"{len(series)} (application, ingress) classes")
+    busiest = max(series, key=lambda k: series[k].sum())
+    estimate = bootstrap_percentile(
+        series[busiest], alpha=80.0, rng=make_rng(0)
+    )
+    print(f"busiest class {busiest}: P80 demand ≈ {estimate.estimate:.1f} "
+          f"(95% CI [{estimate.ci_low:.1f}, {estimate.ci_high:.1f}])")
+
+    # -- 2. the plan ------------------------------------------------------
+    plan = scenario.plan
+    print(f"\nplan: {plan.num_patterns} patterns across "
+          f"{len(plan.classes)} classes")
+    print(f"guaranteed demand {plan.total_guaranteed_demand():.0f} units, "
+          f"planned rejection {plan.mean_rejected_fraction():.1%}")
+
+    # -- 3. does the online demand conform to expectations? ---------------
+    online_series = class_demand_series(
+        scenario.trace.online_requests(), config.online_slots
+    )
+    if busiest in online_series:
+        ok = demand_conforms(
+            online_series[busiest], series[busiest], rng=make_rng(1)
+        )
+        print(f"online demand conforms to history for {busiest}: {ok}")
+
+    # -- 4. run OLIVE and inspect one ingress node -------------------------
+    olive = make_algorithm("OLIVE", scenario)
+    result = simulate(
+        olive, scenario.online_requests(), config.online_slots
+    )
+    print(f"\nOLIVE rejection rate: "
+          f"{rejection_rate(result, config.measure_window):.2%}")
+
+    timeline = NodeTimeline.collect(
+        result, plan, "Franklin", len(scenario.apps)
+    )
+    print("\nper-application activity at the 'Franklin' datacenter:")
+    for app_index in sorted(timeline.guaranteed_demand):
+        counts = timeline.counts(app_index)
+        print(f"  app {app_index}: "
+              f"guarantee={timeline.guaranteed_demand[app_index]:7.1f}  "
+              f"peak={timeline.active_demand[app_index].max():7.1f}  "
+              + "  ".join(f"{k}={v}" for k, v in sorted(counts.items())))
+    print("\n('guaranteed' = within the plan; 'borrowed' = served by "
+          "borrowing unused capacity of other classes; borrowed requests "
+          "are preempted if their owners return.)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""GPU offloading at the edge (the paper's Fig. 10 scenario).
+
+Service chains each contain one GPU function that may only run on GPU
+datacenters; GPU datacenters accept nothing else. Core nodes and four
+random edge nodes are split into GPU / non-GPU halves. Full collocation
+is impossible, so the plain QUICKG heuristic cannot even participate —
+while OLIVE's plan handles the placement constraint naturally and beats
+the exact per-request embedder FULLG.
+
+Run:  python examples/gpu_offloading.py
+"""
+
+from repro import ExperimentConfig, build_scenario, make_algorithm, simulate
+from repro.sim.metrics import rejection_rate
+
+
+def main() -> None:
+    config = ExperimentConfig.bench(
+        topology="Iris",
+        utilization=1.0,
+        gpu_scenario=True,
+        app_mix="gpu",
+        repetitions=1,
+    )
+    scenario = build_scenario(config, seed=3)
+    gpu_nodes = scenario.substrate.gpu_nodes()
+    print(f"substrate: {scenario.substrate.name} with "
+          f"{len(gpu_nodes)} GPU datacenters "
+          f"({', '.join(gpu_nodes[:4])}, ...)")
+    print("applications: "
+          + ", ".join(app.name for app in scenario.apps))
+
+    online = scenario.online_requests()
+    print(f"workload: {len(online)} GPU-chain requests\n")
+
+    rates = {}
+    for name in ("OLIVE", "FULLG"):
+        algorithm = make_algorithm(name, scenario)
+        result = simulate(algorithm, online, config.online_slots)
+        rates[name] = rejection_rate(result, config.measure_window)
+        print(f"{name:<6} rejection={rates[name]:6.2%}  "
+              f"runtime={result.runtime_seconds:5.2f}s")
+
+    # QUICKG's strict collocation cannot split a chain across the GPU
+    # boundary — show that it rejects everything.
+    quickg = make_algorithm("QUICKG", scenario)
+    result = simulate(quickg, online, config.online_slots)
+    print(f"QUICKG rejection={rejection_rate(result, config.measure_window):6.2%}"
+          "  (collocation cannot satisfy the GPU constraint)")
+
+    if rates["OLIVE"] <= rates["FULLG"]:
+        print("\nOLIVE's globally optimized plan beats per-request exact "
+              "embedding under placement constraints, as in the paper.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,169 @@
+"""repro — reproduction of "Plan-Based Scalable Online Virtual Network
+Embedding" (OLIVE, ICDCS 2025).
+
+Public API quick-map:
+
+* substrate networks — :mod:`repro.substrate` (four evaluation topologies);
+* applications / virtual networks — :mod:`repro.apps`;
+* workload traces — :mod:`repro.workload`;
+* demand aggregation — :mod:`repro.stats`;
+* the PLAN-VNE LP and embedding plans — :mod:`repro.plan`;
+* the OLIVE online algorithm — :mod:`repro.core`;
+* baselines (QUICKG, FULLG, SLOTOFF) — :mod:`repro.baselines`;
+* the simulator and metrics — :mod:`repro.sim`;
+* paper-figure experiment drivers — :mod:`repro.experiments`.
+
+Minimal end-to-end example::
+
+    from repro import (
+        ExperimentConfig, build_scenario, make_algorithm, simulate,
+        rejection_rate,
+    )
+
+    config = ExperimentConfig.test(utilization=1.0)
+    scenario = build_scenario(config, seed=0)
+    olive = make_algorithm("OLIVE", scenario)
+    result = simulate(olive, scenario.online_requests(), config.online_slots)
+    print(rejection_rate(result, config.measure_window))
+"""
+
+from repro.errors import (
+    ApplicationError,
+    InfeasibleError,
+    LPError,
+    PlanError,
+    ReproError,
+    SimulationError,
+    TopologyError,
+    WorkloadError,
+)
+from repro.substrate import (
+    SubstrateNetwork,
+    Tier,
+    make_100n150e,
+    make_5gen,
+    make_citta_studi,
+    make_iris,
+    make_topology,
+    split_gpu_datacenters,
+)
+from repro.apps import (
+    Application,
+    VNF,
+    VNFKind,
+    VirtualLink,
+    draw_standard_mix,
+    make_accelerator,
+    make_chain,
+    make_gpu_chain,
+    make_tree,
+)
+from repro.workload import (
+    Request,
+    Trace,
+    TraceConfig,
+    demand_mean_for_utilization,
+    generate_caida_like_trace,
+    generate_mmpp_trace,
+)
+from repro.stats import (
+    AggregateRequest,
+    bootstrap_percentile,
+    build_aggregate_demand,
+    class_demand_series,
+)
+from repro.plan import (
+    ClassPlan,
+    EmbeddingPattern,
+    Plan,
+    PlanVNEConfig,
+    compute_plan,
+    empty_plan,
+)
+from repro.core import Decision, Embedding, OliveAlgorithm, greedy_embed
+from repro.baselines import FullGAlgorithm, SlotOffAlgorithm, make_quickg
+from repro.sim import (
+    SimulationResult,
+    SlotSimulator,
+    balance_index,
+    confidence_interval,
+    cost_breakdown,
+    demand_series,
+    rejection_rate,
+    simulate,
+)
+from repro.experiments import ExperimentConfig, build_scenario, make_algorithm
+
+__version__ = "1.0.0"
+
+__all__ = [
+    # errors
+    "ReproError",
+    "LPError",
+    "InfeasibleError",
+    "TopologyError",
+    "ApplicationError",
+    "WorkloadError",
+    "PlanError",
+    "SimulationError",
+    # substrate
+    "SubstrateNetwork",
+    "Tier",
+    "make_iris",
+    "make_citta_studi",
+    "make_5gen",
+    "make_100n150e",
+    "make_topology",
+    "split_gpu_datacenters",
+    # apps
+    "Application",
+    "VNF",
+    "VNFKind",
+    "VirtualLink",
+    "make_chain",
+    "make_tree",
+    "make_accelerator",
+    "make_gpu_chain",
+    "draw_standard_mix",
+    # workload
+    "Request",
+    "Trace",
+    "TraceConfig",
+    "generate_mmpp_trace",
+    "generate_caida_like_trace",
+    "demand_mean_for_utilization",
+    # stats
+    "AggregateRequest",
+    "class_demand_series",
+    "build_aggregate_demand",
+    "bootstrap_percentile",
+    # plan
+    "Plan",
+    "ClassPlan",
+    "EmbeddingPattern",
+    "PlanVNEConfig",
+    "compute_plan",
+    "empty_plan",
+    # core
+    "OliveAlgorithm",
+    "Decision",
+    "Embedding",
+    "greedy_embed",
+    # baselines
+    "make_quickg",
+    "FullGAlgorithm",
+    "SlotOffAlgorithm",
+    # sim
+    "simulate",
+    "SlotSimulator",
+    "SimulationResult",
+    "rejection_rate",
+    "cost_breakdown",
+    "balance_index",
+    "demand_series",
+    "confidence_interval",
+    # experiments
+    "ExperimentConfig",
+    "build_scenario",
+    "make_algorithm",
+]

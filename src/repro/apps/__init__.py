@@ -1,0 +1,39 @@
+"""Applications: virtual networks of VNFs rooted at a user node θ.
+
+Implements the paper's application model (Sec. II-A): each application is a
+tree/chain virtual network whose nodes are VNFs with sizes β, whose links
+carry sizes β, and whose root θ represents the user's ingress point
+(β_θ = 0). Placement preferences and restrictions are expressed through the
+(in)efficiency coefficients η implemented in :mod:`repro.apps.efficiency`.
+"""
+
+from repro.apps.application import Application, VirtualLink, VNF, VNFKind
+from repro.apps.efficiency import (
+    EfficiencyModel,
+    GpuAwareEfficiency,
+    UniformEfficiency,
+)
+from repro.apps.catalog import (
+    draw_standard_mix,
+    make_accelerator,
+    make_chain,
+    make_gpu_chain,
+    make_tree,
+    make_uniform_type_set,
+)
+
+__all__ = [
+    "VNF",
+    "VNFKind",
+    "VirtualLink",
+    "Application",
+    "EfficiencyModel",
+    "UniformEfficiency",
+    "GpuAwareEfficiency",
+    "make_chain",
+    "make_tree",
+    "make_accelerator",
+    "make_gpu_chain",
+    "draw_standard_mix",
+    "make_uniform_type_set",
+]

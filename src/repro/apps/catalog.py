@@ -1,0 +1,168 @@
+"""Generators for the paper's four application types (Sec. IV-A).
+
+* chain — θ followed by a linear chain of VNFs;
+* tree — a chain that forks into two branches;
+* accelerator — a chain with one accelerator VNF that shrinks the size of
+  the virtual link *after* it by 70 %;
+* GPU chain — a chain with one randomly positioned GPU VNF that must be
+  placed on a GPU datacenter (Fig. 10).
+
+Element sizes follow N(50, 30²) truncated at a small positive floor, the
+number of VNFs is uniform in {3, 4, 5} (Table III).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.apps.application import ROOT_ID, Application, VNF, VNFKind, VirtualLink
+from repro.errors import ApplicationError
+
+#: Table III: element sizes ~ N(50, 900) = N(50, 30²).
+SIZE_MEAN = 50.0
+SIZE_STD = 30.0
+#: Sizes are truncated below at this floor (a non-positive β would make an
+#: element free and degenerate the LP).
+SIZE_FLOOR = 1.0
+#: Table III: VNFs per application uniform in {3, 4, 5}.
+VNF_COUNT_RANGE = (3, 5)
+#: The accelerator shrinks the size of its downstream virtual link by 70 %.
+ACCELERATOR_SHRINK = 0.3
+
+
+def _draw_size(rng: np.random.Generator) -> float:
+    return max(SIZE_FLOOR, float(rng.normal(SIZE_MEAN, SIZE_STD)))
+
+
+def _draw_num_vnfs(rng: np.random.Generator) -> int:
+    low, high = VNF_COUNT_RANGE
+    return int(rng.integers(low, high + 1))
+
+
+def make_chain(
+    rng: np.random.Generator,
+    num_vnfs: int | None = None,
+    name: str = "chain",
+) -> Application:
+    """θ → v1 → v2 → … → vk linear service chain."""
+    k = num_vnfs if num_vnfs is not None else _draw_num_vnfs(rng)
+    if k < 1:
+        raise ApplicationError("a chain needs at least one VNF")
+    vnfs = [VNF(ROOT_ID, 0.0, VNFKind.ROOT)]
+    links = []
+    for i in range(1, k + 1):
+        vnfs.append(VNF(i, _draw_size(rng)))
+        links.append(VirtualLink(i - 1, i, _draw_size(rng)))
+    return Application(name=f"{name}-{k}", vnfs=tuple(vnfs), links=tuple(links))
+
+
+def make_tree(
+    rng: np.random.Generator,
+    num_vnfs: int | None = None,
+    name: str = "tree",
+) -> Application:
+    """A two-branch tree: θ → v1, then v1 forks into two chains.
+
+    The non-stem VNFs are split as evenly as possible between the branches.
+    """
+    k = num_vnfs if num_vnfs is not None else _draw_num_vnfs(rng)
+    if k < 3:
+        raise ApplicationError("a two-branch tree needs at least three VNFs")
+    vnfs = [VNF(ROOT_ID, 0.0, VNFKind.ROOT)]
+    links = []
+    vnfs.append(VNF(1, _draw_size(rng)))
+    links.append(VirtualLink(ROOT_ID, 1, _draw_size(rng)))
+    remaining = k - 1
+    left_count = (remaining + 1) // 2
+    next_id = 2
+    for branch_size in (left_count, remaining - left_count):
+        parent = 1
+        for _ in range(branch_size):
+            vnfs.append(VNF(next_id, _draw_size(rng)))
+            links.append(VirtualLink(parent, next_id, _draw_size(rng)))
+            parent = next_id
+            next_id += 1
+    return Application(name=f"{name}-{k}", vnfs=tuple(vnfs), links=tuple(links))
+
+
+def make_accelerator(
+    rng: np.random.Generator,
+    num_vnfs: int | None = None,
+    name: str = "accelerator",
+) -> Application:
+    """A chain with one accelerator VNF.
+
+    The accelerator reduces the size of the consequent virtual link by 70 %
+    (Sec. IV-A). The accelerator position is uniform among the chain VNFs
+    that have a downstream link.
+    """
+    k = num_vnfs if num_vnfs is not None else _draw_num_vnfs(rng)
+    if k < 2:
+        raise ApplicationError("an accelerator chain needs at least two VNFs")
+    accel_pos = int(rng.integers(1, k))  # VNF ids 1..k-1 have a downstream link
+    vnfs = [VNF(ROOT_ID, 0.0, VNFKind.ROOT)]
+    links = []
+    for i in range(1, k + 1):
+        kind = VNFKind.ACCELERATOR if i == accel_pos else VNFKind.GENERIC
+        vnfs.append(VNF(i, _draw_size(rng), kind))
+        size = _draw_size(rng)
+        if i - 1 == accel_pos:
+            size *= ACCELERATOR_SHRINK
+        links.append(VirtualLink(i - 1, i, size))
+    return Application(name=f"{name}-{k}", vnfs=tuple(vnfs), links=tuple(links))
+
+
+def make_gpu_chain(
+    rng: np.random.Generator,
+    num_vnfs: int | None = None,
+    name: str = "gpu-chain",
+) -> Application:
+    """A chain with one randomly selected GPU VNF (Fig. 10 scenario)."""
+    k = num_vnfs if num_vnfs is not None else _draw_num_vnfs(rng)
+    if k < 1:
+        raise ApplicationError("a GPU chain needs at least one VNF")
+    gpu_pos = int(rng.integers(1, k + 1))
+    vnfs = [VNF(ROOT_ID, 0.0, VNFKind.ROOT)]
+    links = []
+    for i in range(1, k + 1):
+        kind = VNFKind.GPU if i == gpu_pos else VNFKind.GENERIC
+        vnfs.append(VNF(i, _draw_size(rng), kind))
+        links.append(VirtualLink(i - 1, i, _draw_size(rng)))
+    return Application(name=f"{name}-{k}", vnfs=tuple(vnfs), links=tuple(links))
+
+
+def draw_standard_mix(rng: np.random.Generator) -> list[Application]:
+    """The Table III application set: 2 chains, 1 tree, 1 accelerator.
+
+    Each application instance gets its own sizes and VNF count, matching
+    "in each execution, we draw an application set from the distribution".
+    """
+    return [
+        make_chain(rng, name="chain-a"),
+        make_chain(rng, name="chain-b"),
+        make_tree(rng),
+        make_accelerator(rng),
+    ]
+
+
+def make_uniform_type_set(
+    rng: np.random.Generator, app_type: str, count: int = 4
+) -> list[Application]:
+    """``count`` applications of a single type (Fig. 9 / Fig. 10 studies).
+
+    ``app_type`` is one of ``"chain"``, ``"tree"``, ``"accelerator"``,
+    ``"gpu"``.
+    """
+    makers = {
+        "chain": make_chain,
+        "tree": make_tree,
+        "accelerator": make_accelerator,
+        "gpu": make_gpu_chain,
+    }
+    try:
+        maker = makers[app_type]
+    except KeyError:
+        raise ApplicationError(
+            f"unknown application type {app_type!r}; known: {sorted(makers)}"
+        ) from None
+    return [maker(rng, name=f"{app_type}-{i}") for i in range(count)]

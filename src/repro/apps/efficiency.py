@@ -1,0 +1,67 @@
+"""(In)efficiency coefficients η^q_s (Sec. II-A).
+
+η scales the resources element ``q`` consumes when placed on substrate
+element ``s``; ``None`` marks a forbidden placement (the paper uses
+"extremely high η" — a hard exclusion is the limit case and keeps LPs
+smaller by dropping the variables entirely).
+
+The two models used in the evaluation:
+
+* :class:`UniformEfficiency` — η ≡ 1 everywhere (the default setting).
+* :class:`GpuAwareEfficiency` — GPU VNFs may only run on GPU datacenters
+  and GPU datacenters accept only GPU VNFs (Fig. 10 scenario).
+"""
+
+from __future__ import annotations
+
+from repro.apps.application import VNF, VNFKind, VirtualLink
+from repro.substrate.network import LinkAttrs, NodeAttrs
+
+
+class EfficiencyModel:
+    """Interface for η^q_s lookups.
+
+    Subclasses override :meth:`node_eta` / :meth:`link_eta`; returning
+    ``None`` from :meth:`node_eta` forbids the placement.
+    """
+
+    def node_eta(self, vnf: VNF, node: NodeAttrs) -> float | None:
+        """η for placing ``vnf`` on a datacenter, or None if forbidden."""
+        raise NotImplementedError
+
+    def link_eta(self, vlink: VirtualLink, link: LinkAttrs) -> float:
+        """η for routing ``vlink`` over a substrate link."""
+        raise NotImplementedError
+
+    def placeable(self, vnf: VNF, node: NodeAttrs) -> bool:
+        """Whether ``vnf`` may be placed on the datacenter at all."""
+        return self.node_eta(vnf, node) is not None
+
+
+class UniformEfficiency(EfficiencyModel):
+    """η ≡ 1: every VNF fits every datacenter equally well."""
+
+    def node_eta(self, vnf: VNF, node: NodeAttrs) -> float | None:
+        return 1.0
+
+    def link_eta(self, vlink: VirtualLink, link: LinkAttrs) -> float:
+        return 1.0
+
+
+class GpuAwareEfficiency(EfficiencyModel):
+    """GPU exclusivity: GPU VNFs ↔ GPU datacenters only.
+
+    θ is exempt (it is pinned to the ingress node and consumes nothing).
+    """
+
+    def node_eta(self, vnf: VNF, node: NodeAttrs) -> float | None:
+        if vnf.kind is VNFKind.ROOT:
+            return 1.0
+        if vnf.kind is VNFKind.GPU and not node.gpu:
+            return None
+        if vnf.kind is not VNFKind.GPU and node.gpu:
+            return None
+        return 1.0
+
+    def link_eta(self, vlink: VirtualLink, link: LinkAttrs) -> float:
+        return 1.0

@@ -1,0 +1,27 @@
+"""Baseline algorithms from the paper's evaluation (Sec. IV-A).
+
+* **QUICKG** — OLIVE with an empty plan: every request is embedded by the
+  collocated greedy heuristic (GREEDYEMBED).
+* **FULLG** — the best possible greedy: an exact minimum-cost embedding of
+  each request against the residual substrate (the paper uses a per-request
+  ILP; we use an exact dynamic program over the tree-shaped VNs — see
+  DESIGN.md §2).
+* **SLOTOFF** — re-solves an offline aggregate LP for the active requests
+  of every time slot (the paper runs PRANOS; we run our PLAN-VNE
+  formulation on the per-slot aggregation). Rejected requests are never
+  reconsidered.
+"""
+
+from repro.baselines.quickg import make_quickg
+from repro.baselines.fullg import FullGAlgorithm, exact_embed
+from repro.baselines.slotoff import SlotOffAlgorithm
+from repro.baselines.noderank import NodeRankAlgorithm, compute_node_ranks
+
+__all__ = [
+    "make_quickg",
+    "FullGAlgorithm",
+    "exact_embed",
+    "SlotOffAlgorithm",
+    "NodeRankAlgorithm",
+    "compute_node_ranks",
+]

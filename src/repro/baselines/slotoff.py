@@ -1,0 +1,138 @@
+"""SLOTOFF: per-slot offline re-optimization (Sec. IV-A).
+
+"SLOTOFF sequentially computes an allocation for each time slot t, by
+solving a separate OFF-VNE instance comprising the active requests R(t).
+Ongoing active requests may have a completely different allocation for each
+time slot (an inherent advantage over OLIVE); rejected requests are not
+reconsidered."
+
+The paper runs PRANOS as the per-slot solver; we run our PLAN-VNE LP on the
+slot's per-class aggregation (PRANOS is itself an aggregate LP relaxation —
+see DESIGN.md §2). The fractional per-class allocation is apportioned to
+individual requests earliest-arrival-first: a newly arrived request that
+does not fit its class quota is permanently rejected; in the rare case an
+ongoing request no longer fits, it is dropped (reported as preempted).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.apps.application import ROOT_ID, Application
+from repro.apps.efficiency import EfficiencyModel, UniformEfficiency
+from repro.core.olive import Decision
+from repro.core.residual import EPSILON
+from repro.lp.solver import solve_lp
+from repro.plan.formulation import PlanVNEConfig, build_plan_vne
+from repro.stats.aggregate import AggregateRequest, ClassKey
+from repro.substrate.network import SubstrateNetwork
+from repro.workload.request import Request
+
+
+@dataclass
+class SlotResult:
+    """Outcome of one SLOTOFF slot."""
+
+    decisions: list[Decision]
+    dropped: list[Request]
+    resource_cost: float
+
+
+class SlotOffAlgorithm:
+    """Batch per-slot offline solver with the simulator's batch interface."""
+
+    def __init__(
+        self,
+        substrate: SubstrateNetwork,
+        apps: list[Application],
+        efficiency: EfficiencyModel | None = None,
+        config: PlanVNEConfig | None = None,
+    ) -> None:
+        self.substrate = substrate
+        self.apps = apps
+        self.efficiency = efficiency or UniformEfficiency()
+        self.config = config or PlanVNEConfig()
+        self.name = "SLOTOFF"
+        #: Requests currently embedded (accepted and still active).
+        self.active: dict[int, Request] = {}
+        self._last_resource_cost = 0.0
+        self._last_fraction: dict[ClassKey, float] = {}
+
+    def release(self, request: Request) -> None:
+        self.active.pop(request.id, None)
+
+    def run_slot(self, t: int, arrivals: list[Request]) -> SlotResult:
+        """Re-solve the slot's OFF-VNE instance and apportion per request."""
+        population = sorted(
+            list(self.active.values()) + list(arrivals),
+            key=lambda r: (r.arrival, r.id),
+        )
+        if not population:
+            self._last_resource_cost = 0.0
+            return SlotResult(decisions=[], dropped=[], resource_cost=0.0)
+
+        by_class: dict[ClassKey, list[Request]] = {}
+        for request in population:
+            by_class.setdefault(request.class_key(), []).append(request)
+        aggregates = [
+            AggregateRequest(
+                app_index=key[0],
+                ingress=key[1],
+                demand=sum(r.demand for r in requests),
+            )
+            for key, requests in sorted(by_class.items())
+        ]
+
+        model = build_plan_vne(
+            self.substrate, self.apps, aggregates, self.efficiency, self.config
+        )
+        solution = solve_lp(model.program)
+
+        # Resource cost = objective minus the quantile rejection penalty.
+        rejection_cost = 0.0
+        for (c, p), var in model.quantile_vars.items():
+            rejection_cost += solution.values[var] * (
+                model.program.objective_coefficient(var)
+            )
+        self._last_resource_cost = solution.objective - rejection_cost
+
+        fractions: dict[ClassKey, float] = {}
+        for c, aggregate in enumerate(aggregates):
+            root_var = model.node_vars[(c, ROOT_ID, aggregate.ingress)]
+            fractions[aggregate.class_key] = float(solution.values[root_var])
+        self._last_fraction = fractions
+
+        arrival_ids = {r.id for r in arrivals}
+        decisions: list[Decision] = []
+        dropped: list[Request] = []
+        for key, requests in by_class.items():
+            total = sum(r.demand for r in requests)
+            quota = fractions[key] * total + EPSILON * max(1.0, total)
+            used = 0.0
+            for request in requests:  # already earliest-first
+                fits = used + request.demand <= quota
+                if fits:
+                    used += request.demand
+                if request.id in arrival_ids:
+                    decisions.append(
+                        Decision(request=request, accepted=fits)
+                    )
+                    if fits:
+                        self.active[request.id] = request
+                elif not fits:
+                    self.active.pop(request.id, None)
+                    dropped.append(request)
+        return SlotResult(
+            decisions=decisions,
+            dropped=dropped,
+            resource_cost=self._last_resource_cost,
+        )
+
+    # -- introspection, mirroring the per-request algorithms ----------------
+
+    def active_demand(self) -> float:
+        return sum(r.demand for r in self.active.values())
+
+    def active_cost_per_slot(self) -> float:
+        """Resource cost of the last solved slot (Eq. 3 inner sum)."""
+        return self._last_resource_cost

@@ -1,0 +1,28 @@
+"""OLIVE: plan-guided online virtual network embedding (Sec. III-C).
+
+This package holds the online machinery shared by OLIVE and the baselines:
+
+* :mod:`repro.core.embedding` — concrete unsplittable embeddings x(r) and
+  their induced loads (Eq. 1);
+* :mod:`repro.core.residual` — residual substrate capacity Res(S, t, x)
+  (Eq. 16) and the residual plan Res(y, t, x) (Eq. 17);
+* :mod:`repro.core.greedy` — the collocated least-cost GREEDYEMBED;
+* :mod:`repro.core.olive` — Algorithm 2: planned embedding, borrowed
+  partial-fit embedding, preemption, and greedy fallback.
+"""
+
+from repro.core.embedding import Embedding, ElementLoads, compute_loads
+from repro.core.residual import PlanResidual, ResidualState
+from repro.core.greedy import greedy_embed
+from repro.core.olive import Decision, OliveAlgorithm
+
+__all__ = [
+    "Embedding",
+    "ElementLoads",
+    "compute_loads",
+    "ResidualState",
+    "PlanResidual",
+    "greedy_embed",
+    "OliveAlgorithm",
+    "Decision",
+]

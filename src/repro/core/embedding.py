@@ -1,0 +1,96 @@
+"""Concrete embeddings x(r) and their induced loads (Eqs. 1–3).
+
+An :class:`Embedding` is an unsplittable mapping of one request's virtual
+network: VNF → substrate node, virtual link → substrate path. Its
+:class:`ElementLoads` materialize Eq. 1 — ``load = d(r) · β_q · η^q_s`` —
+summed per substrate element, which is what both the feasibility checks
+(Eq. 18) and the cost accounting (Eq. 3) consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.apps.application import ROOT_ID, Application
+from repro.apps.efficiency import EfficiencyModel
+from repro.errors import SimulationError
+from repro.plan.pattern import EmbeddingPattern
+from repro.substrate.network import LinkId, NodeId, SubstrateNetwork
+
+VLinkKey = tuple[int, int]
+
+
+@dataclass(frozen=True)
+class Embedding:
+    """Unsplittable mapping of one virtual network onto the substrate."""
+
+    node_map: dict[int, NodeId]
+    link_paths: dict[VLinkKey, tuple[LinkId, ...]]
+
+    @classmethod
+    def from_pattern(cls, pattern: EmbeddingPattern) -> "Embedding":
+        """Adopt a plan pattern's mapping as a concrete embedding."""
+        return cls(
+            node_map=dict(pattern.node_map),
+            link_paths=dict(pattern.link_paths),
+        )
+
+    def is_collocated(self) -> bool:
+        """True when all non-root VNFs share one substrate node."""
+        hosts = {v for i, v in self.node_map.items() if i != ROOT_ID}
+        return len(hosts) <= 1
+
+
+@dataclass
+class ElementLoads:
+    """Per-element resource consumption of one embedding (Eq. 1)."""
+
+    nodes: dict[NodeId, float] = field(default_factory=dict)
+    links: dict[LinkId, float] = field(default_factory=dict)
+
+    def cost_per_slot(self, substrate: SubstrateNetwork) -> float:
+        """Σ_s load(s)·cost(s) for one active slot (the inner sum of Eq. 3)."""
+        total = 0.0
+        for node, load in self.nodes.items():
+            total += load * substrate.node_cost(node)
+        for link, load in self.links.items():
+            total += load * substrate.link_cost(link)
+        return total
+
+
+def compute_loads(
+    app: Application,
+    demand: float,
+    embedding: Embedding,
+    substrate: SubstrateNetwork,
+    efficiency: EfficiencyModel,
+) -> ElementLoads:
+    """Materialize Eq. 1 for every substrate element an embedding touches.
+
+    Raises
+    ------
+    SimulationError
+        If the embedding places a VNF where η forbids it — that would be an
+        algorithm bug, not a capacity matter.
+    """
+    loads = ElementLoads()
+    for vnf in app.vnfs:
+        if vnf.id == ROOT_ID:
+            continue  # β_θ = 0
+        node = embedding.node_map[vnf.id]
+        eta = efficiency.node_eta(vnf, substrate.nodes[node])
+        if eta is None:
+            raise SimulationError(
+                f"VNF {vnf.id} placed on forbidden node {node!r}"
+            )
+        load = demand * vnf.size * eta
+        if load > 0:
+            loads.nodes[node] = loads.nodes.get(node, 0.0) + load
+    for vlink in app.links:
+        path = embedding.link_paths.get(vlink.key, ())
+        for link in path:
+            eta = efficiency.link_eta(vlink, substrate.links[link])
+            load = demand * vlink.size * eta
+            if load > 0:
+                loads.links[link] = loads.links.get(link, 0.0) + load
+    return loads

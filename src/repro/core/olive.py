@@ -1,0 +1,322 @@
+"""OLIVE — Algorithm 2: plan-guided online embedding with compensation.
+
+Per arriving request, in order:
+
+1. **Planned embedding** (PLANEMBED, lines 23–26): find a plan pattern of
+   the request's class whose residual planned capacity covers the whole
+   demand. Such an allocation is marked ``planned`` and draws down the
+   residual plan (Eq. 17). The plan is already cost-optimized, so no
+   further optimization is attempted.
+2. **Preemption** (lines 8–9, 35–38): if the planned embedding exceeds the
+   substrate residual — because earlier non-planned allocations "borrowed"
+   capacity the plan reserved — preempt borrowed allocations overlapping
+   the shortfall to restore the guarantee.
+3. **Borrowed partial fit** (lines 27–29): if no pattern covers the whole
+   demand but one has *some* residual, embed the full request along that
+   pattern anyway (subject to substrate feasibility), marked non-planned.
+   It borrows unused capacity and is preemptible later.
+4. **Greedy fallback** (lines 10–11, 31–34): the collocated least-cost
+   embedding against the substrate residual.
+5. Otherwise reject.
+
+Running OLIVE with an empty plan short-circuits steps 1–3 and yields the
+QUICKG baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.apps.application import Application
+from repro.apps.efficiency import EfficiencyModel, UniformEfficiency
+from repro.core.embedding import Embedding, ElementLoads, compute_loads
+from repro.core.greedy import greedy_embed
+from repro.core.residual import EPSILON, PlanResidual, ResidualState
+from repro.errors import SimulationError
+from repro.plan.pattern import Plan
+from repro.stats.aggregate import ClassKey
+from repro.substrate.network import SubstrateNetwork
+from repro.workload.request import Request
+
+
+@dataclass(frozen=True)
+class Decision:
+    """Outcome of processing one request."""
+
+    request: Request
+    accepted: bool
+    planned: bool = False
+    borrowed: bool = False
+    via_greedy: bool = False
+    embedding: Embedding | None = None
+    cost_per_slot: float = 0.0
+    preempted: tuple[Request, ...] = ()
+
+
+@dataclass
+class _ActiveAllocation:
+    """Book-keeping for one active (embedded) request."""
+
+    request: Request
+    embedding: Embedding
+    loads: ElementLoads
+    cost_per_slot: float
+    planned: bool
+    pattern_index: int | None
+    class_key: ClassKey
+
+
+class OliveAlgorithm:
+    """Stateful online embedder implementing Algorithm 2.
+
+    The simulator drives it: call :meth:`release` for each departure at the
+    start of a slot, then :meth:`process` for each arrival in order.
+    """
+
+    def __init__(
+        self,
+        substrate: SubstrateNetwork,
+        apps: list[Application],
+        plan: Plan,
+        efficiency: EfficiencyModel | None = None,
+        enable_preemption: bool = True,
+        enable_borrowing: bool = True,
+        allow_split_greedy: bool = True,
+        name: str | None = None,
+    ) -> None:
+        self.substrate = substrate
+        self.apps = apps
+        self.plan = plan
+        self.efficiency = efficiency or UniformEfficiency()
+        self.enable_preemption = enable_preemption
+        self.enable_borrowing = enable_borrowing
+        self.allow_split_greedy = allow_split_greedy
+        self.name = name or ("QUICKG" if plan.is_empty else "OLIVE")
+        self.residual = ResidualState(substrate)
+        self.plan_residual = PlanResidual(plan)
+        self.active: dict[int, _ActiveAllocation] = {}
+
+    def switch_plan(self, plan: Plan) -> None:
+        """Replace the embedding plan mid-run (time-windowed planning).
+
+        Active *planned* allocations are downgraded to borrowed status:
+        their patterns belong to the retired plan, so the new plan's
+        guarantees must not be pinned by them — under the new plan they
+        are exactly "capacity borrowed from the planned classes" and hence
+        become preemptible, which is the conservative interpretation.
+        """
+        self.plan = plan
+        self.plan_residual = PlanResidual(plan)
+        for allocation in self.active.values():
+            allocation.planned = False
+            allocation.pattern_index = None
+
+    # -- departures ---------------------------------------------------------
+
+    def release(self, request: Request) -> None:
+        """Return a departing request's resources (slot-start bookkeeping).
+
+        Unknown ids are tolerated: the request may have been rejected at
+        arrival or preempted since.
+        """
+        allocation = self.active.pop(request.id, None)
+        if allocation is None:
+            return
+        self.residual.release(allocation.loads)
+        if allocation.planned:
+            self.plan_residual.release(
+                allocation.class_key,
+                allocation.pattern_index,
+                request.demand,
+            )
+
+    # -- arrivals -----------------------------------------------------------
+
+    def process(self, request: Request) -> Decision:
+        """Embed or reject one arriving request (Algorithm 2, lines 6–16)."""
+        if request.id in self.active:
+            raise SimulationError(f"request {request.id} processed twice")
+        app = self.apps[request.app_index]
+        class_key = request.class_key()
+
+        embedding: Embedding | None = None
+        loads: ElementLoads | None = None
+        planned = False
+        borrowed = False
+        pattern_index: int | None = None
+        preempted: list[Request] = []
+
+        class_plan = self.plan.class_plan(class_key)
+        if class_plan is not None:
+            index = self.plan_residual.find_full_fit(class_key, request.demand)
+            if index is not None:
+                embedding = Embedding.from_pattern(class_plan.patterns[index])
+                loads = compute_loads(
+                    app, request.demand, embedding, self.substrate,
+                    self.efficiency,
+                )
+                planned = True
+                pattern_index = index
+            elif self.enable_borrowing:
+                index = self.plan_residual.find_partial_fit(class_key)
+                if index is not None:
+                    candidate = Embedding.from_pattern(
+                        class_plan.patterns[index]
+                    )
+                    candidate_loads = compute_loads(
+                        app, request.demand, candidate, self.substrate,
+                        self.efficiency,
+                    )
+                    if self.residual.fits(candidate_loads):
+                        embedding, loads = candidate, candidate_loads
+                        borrowed = True
+
+        if planned and loads is not None and not self.residual.fits(loads):
+            freed = (
+                self._preempt_for(loads) if self.enable_preemption else None
+            )
+            if freed is None:
+                embedding, loads = None, None
+                planned, pattern_index = False, None
+            else:
+                preempted = freed
+
+        if embedding is None:
+            embedding = greedy_embed(
+                request, app, self.substrate, self.efficiency, self.residual,
+                allow_split_groups=self.allow_split_greedy,
+            )
+            if embedding is not None:
+                loads = compute_loads(
+                    app, request.demand, embedding, self.substrate,
+                    self.efficiency,
+                )
+                return self._allocate(
+                    request, app, embedding, loads, planned=False,
+                    borrowed=False, via_greedy=True,
+                    pattern_index=None, preempted=preempted,
+                )
+            return Decision(
+                request=request, accepted=False, preempted=tuple(preempted)
+            )
+
+        return self._allocate(
+            request, app, embedding, loads, planned=planned,
+            borrowed=borrowed, via_greedy=False,
+            pattern_index=pattern_index, preempted=preempted,
+        )
+
+    # -- internals ----------------------------------------------------------
+
+    def _allocate(
+        self,
+        request: Request,
+        app: Application,
+        embedding: Embedding,
+        loads: ElementLoads,
+        planned: bool,
+        borrowed: bool,
+        via_greedy: bool,
+        pattern_index: int | None,
+        preempted: list[Request],
+    ) -> Decision:
+        """ALLOCATE (lines 18–22): commit residuals and record the request."""
+        self.residual.allocate(loads)
+        if planned:
+            self.plan_residual.draw(
+                request.class_key(), pattern_index, request.demand
+            )
+        cost = loads.cost_per_slot(self.substrate)
+        self.active[request.id] = _ActiveAllocation(
+            request=request,
+            embedding=embedding,
+            loads=loads,
+            cost_per_slot=cost,
+            planned=planned,
+            pattern_index=pattern_index,
+            class_key=request.class_key(),
+        )
+        return Decision(
+            request=request,
+            accepted=True,
+            planned=planned,
+            borrowed=borrowed,
+            via_greedy=via_greedy,
+            embedding=embedding,
+            cost_per_slot=cost,
+            preempted=tuple(preempted),
+        )
+
+    def _preempt_for(self, loads: ElementLoads) -> list[Request] | None:
+        """PREEMPT (lines 35–38): free borrowed capacity for a planned fit.
+
+        Only non-planned active allocations (RDONE \\ RPLAN) are candidates.
+        Returns the preempted requests, or None when even preempting every
+        candidate could not cover the shortfall (then nothing is touched).
+        """
+        shortfall = self.residual.shortfall(loads)
+        if not shortfall.nodes and not shortfall.links:
+            return []
+        candidates = [a for a in self.active.values() if not a.planned]
+
+        available_nodes: dict = {}
+        available_links: dict = {}
+        for allocation in candidates:
+            for node, load in allocation.loads.nodes.items():
+                available_nodes[node] = available_nodes.get(node, 0.0) + load
+            for link, load in allocation.loads.links.items():
+                available_links[link] = available_links.get(link, 0.0) + load
+        for node, need in shortfall.nodes.items():
+            if available_nodes.get(node, 0.0) + EPSILON < need:
+                return None
+        for link, need in shortfall.links.items():
+            if available_links.get(link, 0.0) + EPSILON < need:
+                return None
+
+        remaining_nodes = dict(shortfall.nodes)
+        remaining_links = dict(shortfall.links)
+
+        def contribution(allocation: _ActiveAllocation) -> float:
+            total = 0.0
+            for node, load in allocation.loads.nodes.items():
+                if node in remaining_nodes:
+                    total += min(load, remaining_nodes[node])
+            for link, load in allocation.loads.links.items():
+                if link in remaining_links:
+                    total += min(load, remaining_links[link])
+            return total
+
+        chosen: list[_ActiveAllocation] = []
+        for allocation in sorted(candidates, key=contribution, reverse=True):
+            if not remaining_nodes and not remaining_links:
+                break
+            if contribution(allocation) <= 0:
+                continue
+            chosen.append(allocation)
+            for node, load in allocation.loads.nodes.items():
+                if node in remaining_nodes:
+                    remaining_nodes[node] -= load
+                    if remaining_nodes[node] <= EPSILON:
+                        del remaining_nodes[node]
+            for link, load in allocation.loads.links.items():
+                if link in remaining_links:
+                    remaining_links[link] -= load
+                    if remaining_links[link] <= EPSILON:
+                        del remaining_links[link]
+        if remaining_nodes or remaining_links:  # pragma: no cover
+            return None
+
+        for allocation in chosen:
+            self.active.pop(allocation.request.id)
+            self.residual.release(allocation.loads)
+        return [allocation.request for allocation in chosen]
+
+    # -- introspection -------------------------------------------------------
+
+    def active_demand(self) -> float:
+        """Total demand of currently embedded requests."""
+        return sum(a.request.demand for a in self.active.values())
+
+    def active_cost_per_slot(self) -> float:
+        """Σ_s load(s)·cost(s) of the current allocation (Eq. 3 inner sum)."""
+        return sum(a.cost_per_slot for a in self.active.values())

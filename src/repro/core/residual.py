@@ -1,0 +1,160 @@
+"""Residual capacity tracking (Eqs. 16–19).
+
+:class:`ResidualState` tracks Res(S, t, x): what remains of every substrate
+element's capacity given the currently active allocations. Checks use a
+small epsilon so float round-trips (allocate/release cycles) never produce
+spurious infeasibility.
+
+:class:`PlanResidual` tracks Res(y, t, x): how much of each plan pattern's
+guaranteed capacity is still unclaimed by active *planned* allocations.
+Only planned allocations draw from it (Algorithm 2, ALLOCATE line 22);
+borrowed allocations consume substrate capacity without touching the plan,
+which is precisely why they are preemptible later.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.embedding import ElementLoads
+from repro.errors import SimulationError
+from repro.plan.pattern import Plan
+from repro.stats.aggregate import ClassKey
+from repro.substrate.network import LinkId, NodeId, SubstrateNetwork
+
+#: Tolerance for capacity comparisons, scaled to capacity magnitudes.
+EPSILON = 1e-6
+
+
+class ResidualState:
+    """Res(S, t, x): residual node and link capacities of the substrate."""
+
+    def __init__(self, substrate: SubstrateNetwork) -> None:
+        self.substrate = substrate
+        self.nodes: dict[NodeId, float] = {
+            v: attrs.capacity for v, attrs in substrate.nodes.items()
+        }
+        self.links: dict[LinkId, float] = {
+            l: attrs.capacity for l, attrs in substrate.links.items()
+        }
+
+    def fits(self, loads: ElementLoads) -> bool:
+        """Eq. 18: can these loads be added without violating capacity?"""
+        for node, load in loads.nodes.items():
+            if load > self.nodes[node] + EPSILON:
+                return False
+        for link, load in loads.links.items():
+            if load > self.links[link] + EPSILON:
+                return False
+        return True
+
+    def shortfall(self, loads: ElementLoads) -> ElementLoads:
+        """How much capacity is missing per element for these loads."""
+        missing = ElementLoads()
+        for node, load in loads.nodes.items():
+            gap = load - self.nodes[node]
+            if gap > EPSILON:
+                missing.nodes[node] = gap
+        for link, load in loads.links.items():
+            gap = load - self.links[link]
+            if gap > EPSILON:
+                missing.links[link] = gap
+        return missing
+
+    def allocate(self, loads: ElementLoads) -> None:
+        """Consume capacity; negative residuals (beyond ε) are a bug."""
+        for node, load in loads.nodes.items():
+            self.nodes[node] -= load
+            if self.nodes[node] < -EPSILON * max(1.0, load):
+                raise SimulationError(f"node {node!r} residual went negative")
+        for link, load in loads.links.items():
+            self.links[link] -= load
+            if self.links[link] < -EPSILON * max(1.0, load):
+                raise SimulationError(f"link {link!r} residual went negative")
+
+    def release(self, loads: ElementLoads) -> None:
+        """Return capacity on request departure or preemption."""
+        for node, load in loads.nodes.items():
+            self.nodes[node] += load
+        for link, load in loads.links.items():
+            self.links[link] += load
+
+    def node_utilization(self, node: NodeId) -> float:
+        capacity = self.substrate.node_capacity(node)
+        return 1.0 - self.nodes[node] / capacity if capacity > 0 else 0.0
+
+
+@dataclass
+class PlanResidual:
+    """Res(y, t, x): unclaimed guaranteed capacity per plan pattern.
+
+    Keys are ``(class_key, pattern_index)``; values are demand units. Full
+    fits (Eq. 19) require a single pattern able to absorb the whole request
+    — embeddings are unsplittable, so the request must follow one concrete
+    mapping.
+    """
+
+    plan: Plan
+    residual: dict[tuple[ClassKey, int], float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        for key, class_plan in self.plan.classes.items():
+            demand = class_plan.aggregate.demand
+            for index, pattern in enumerate(class_plan.patterns):
+                self.residual[(key, index)] = pattern.planned_capacity(demand)
+
+    def find_full_fit(self, class_key: ClassKey, demand: float) -> int | None:
+        """Index of a pattern whose residual covers ``demand``, if any.
+
+        Patterns are scanned best-residual-first so load spreads across the
+        planned mappings instead of exhausting them in plan order.
+        """
+        class_plan = self.plan.class_plan(class_key)
+        if class_plan is None:
+            return None
+        best_index, best_value = None, demand - EPSILON
+        for index in range(len(class_plan.patterns)):
+            value = self.residual[(class_key, index)]
+            if value > best_value:
+                best_index, best_value = index, value
+        return best_index
+
+    def find_partial_fit(self, class_key: ClassKey) -> int | None:
+        """Index of the pattern with the largest positive residual, if any.
+
+        This is Algorithm 2's partial fit (line 27): some fraction α > 0 of
+        the request still fits the plan, so the planned mapping remains the
+        guide even though the full demand overflows it.
+        """
+        class_plan = self.plan.class_plan(class_key)
+        if class_plan is None:
+            return None
+        best_index, best_value = None, EPSILON
+        for index in range(len(class_plan.patterns)):
+            value = self.residual[(class_key, index)]
+            if value > best_value:
+                best_index, best_value = index, value
+        return best_index
+
+    def draw(self, class_key: ClassKey, index: int, demand: float) -> None:
+        """Claim pattern capacity for a planned allocation."""
+        key = (class_key, index)
+        self.residual[key] -= demand
+        if self.residual[key] < -EPSILON * max(1.0, demand):
+            raise SimulationError(
+                f"plan residual for {key} went negative"
+            )
+
+    def release(self, class_key: ClassKey, index: int, demand: float) -> None:
+        """Return pattern capacity when a planned allocation departs."""
+        self.residual[(class_key, index)] += demand
+
+    def guaranteed_remaining(self, class_key: ClassKey) -> float:
+        """Total unclaimed planned capacity of one class."""
+        class_plan = self.plan.class_plan(class_key)
+        if class_plan is None:
+            return 0.0
+        return sum(
+            self.residual[(class_key, index)]
+            for index in range(len(class_plan.patterns))
+        )

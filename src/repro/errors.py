@@ -1,0 +1,39 @@
+"""Exception hierarchy for the repro library.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch a single base class at API boundaries.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class LPError(ReproError):
+    """Raised when building or solving a linear program fails."""
+
+
+class InfeasibleError(LPError):
+    """Raised when an LP instance is reported infeasible by the solver."""
+
+
+class TopologyError(ReproError):
+    """Raised for invalid substrate-topology construction arguments."""
+
+
+class ApplicationError(ReproError):
+    """Raised for invalid virtual-network (application) definitions."""
+
+
+class WorkloadError(ReproError):
+    """Raised for invalid workload/trace generation parameters."""
+
+
+class PlanError(ReproError):
+    """Raised when plan construction or decomposition fails."""
+
+
+class SimulationError(ReproError):
+    """Raised for inconsistent simulator state or configuration."""

@@ -1,0 +1,41 @@
+"""Experiment drivers reproducing every figure of the paper's evaluation.
+
+:mod:`repro.experiments.config` holds the Table III parameters and the
+laptop-scale presets; :mod:`repro.experiments.scenario` assembles one
+simulation scenario (substrate + apps + trace + plan);
+:mod:`repro.experiments.figures` has one driver per paper figure.
+"""
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.scenario import Scenario, build_scenario, make_algorithm
+from repro.experiments.figures import (
+    collect_node_timeline,
+    run_balance_quantiles,
+    run_by_application,
+    run_caida,
+    run_demand_zoom,
+    run_gpu_scenario,
+    run_rejection_vs_utilization,
+    run_runtime_scaling,
+    run_shifted_plan,
+    run_single,
+    run_unexpected_demand,
+)
+
+__all__ = [
+    "ExperimentConfig",
+    "Scenario",
+    "build_scenario",
+    "make_algorithm",
+    "run_single",
+    "run_rejection_vs_utilization",
+    "run_demand_zoom",
+    "run_by_application",
+    "run_gpu_scenario",
+    "run_balance_quantiles",
+    "collect_node_timeline",
+    "run_unexpected_demand",
+    "run_shifted_plan",
+    "run_caida",
+    "run_runtime_scaling",
+]

@@ -1,0 +1,154 @@
+"""Command-line runner: regenerate any paper figure from the shell.
+
+Examples::
+
+    python -m repro.experiments list
+    python -m repro.experiments fig6 --topology CittaStudi --scale test
+    python -m repro.experiments fig11 --scale bench
+    python -m repro.experiments fig16 --topology Iris
+
+``--scale`` selects the preset: ``paper`` (full Table III horizons — hours),
+``bench`` (laptop minutes, the default), or ``test`` (seconds, smoke only).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments import figures
+
+SCALES = {
+    "paper": ExperimentConfig.paper,
+    "bench": ExperimentConfig.bench,
+    "test": ExperimentConfig.test,
+}
+
+FIGURES = {
+    "fig6": "rejection rate vs utilization",
+    "fig7": "cost vs utilization (same runs as fig6)",
+    "fig8": "allocated-demand zoom at 140% utilization",
+    "fig9": "rejection by application type",
+    "fig10": "GPU placement scenario",
+    "fig11": "balance index vs quantile count",
+    "fig12": "per-node allocation timeline",
+    "fig13": "plan for unexpected demand levels",
+    "fig14": "spatially shifted plan",
+    "fig15": "CAIDA-like demand",
+    "fig16": "runtime scalability",
+}
+
+
+def _print_sweep(data, metric: str) -> None:
+    for utilization, summary in data.items():
+        algorithms = sorted({k.split(":")[0] for k in summary})
+        cells = "  ".join(
+            f"{a}={summary[f'{a}:{metric}'].mean:.4g}" for a in algorithms
+        )
+        print(f"  util={utilization:.0%}  {cells}")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    parser.add_argument("figure", choices=sorted(FIGURES) + ["list"])
+    parser.add_argument("--topology", default="Iris")
+    parser.add_argument("--scale", choices=sorted(SCALES), default="bench")
+    parser.add_argument("--utilization", type=float, default=1.0)
+    parser.add_argument("--repetitions", type=int, default=1)
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+
+    if args.figure == "list":
+        for name, description in FIGURES.items():
+            print(f"{name:<6} {description}")
+        return 0
+
+    config = SCALES[args.scale](
+        topology=args.topology,
+        utilization=args.utilization,
+        repetitions=args.repetitions,
+        base_seed=args.seed,
+    )
+    utilizations = (0.6, 1.0, 1.4)
+
+    if args.figure == "fig6":
+        data = figures.run_rejection_vs_utilization(config, utilizations)
+        _print_sweep(data, "rejection_rate")
+    elif args.figure == "fig7":
+        data = figures.run_rejection_vs_utilization(config, utilizations)
+        _print_sweep(data, "total_cost")
+    elif args.figure == "fig8":
+        config = config.with_(utilization=1.4)
+        zoom = (
+            config.measure_start,
+            min(config.measure_start + 30, config.measure_stop),
+        )
+        series = figures.run_demand_zoom(config, zoom)
+        for name, data in series.items():
+            mean = float(data["allocated"].mean())
+            print(f"  {name}: mean allocated demand {mean:.0f}")
+    elif args.figure == "fig9":
+        data = figures.run_by_application(config)
+        for app_type, summary in data.items():
+            algorithms = sorted({k.split(":")[0] for k in summary})
+            cells = "  ".join(
+                f"{a}={summary[f'{a}:rejection_rate'].mean:.3f}"
+                for a in algorithms
+            )
+            print(f"  {app_type:<12} {cells}")
+    elif args.figure == "fig10":
+        summary = figures.run_gpu_scenario(config)
+        for key, interval in summary.items():
+            if key.endswith("rejection_rate"):
+                print(f"  {key} = {interval.mean:.3f}")
+    elif args.figure == "fig11":
+        config = config.with_(utilization=1.4)
+        summary = figures.run_balance_quantiles(config)
+        for name, interval in summary.items():
+            print(f"  {name:<12} balance={interval.mean:.3f}")
+    elif args.figure == "fig12":
+        node = "Franklin" if args.topology == "Iris" else None
+        if node is None:
+            print("fig12 references the 'Franklin' node of Iris")
+            return 2
+        timeline = figures.collect_node_timeline(config, node)
+        for app_index in sorted(timeline.guaranteed_demand):
+            counts = timeline.counts(app_index)
+            print(
+                f"  app {app_index}: guarantee="
+                f"{timeline.guaranteed_demand[app_index]:.1f}  "
+                + "  ".join(f"{k}={v}" for k, v in sorted(counts.items()))
+            )
+    elif args.figure == "fig13":
+        config = config.with_(utilization=1.4)
+        summary = figures.run_unexpected_demand(config)
+        for name, interval in summary.items():
+            print(f"  {name:<17} rejection={interval.mean:.3f}")
+    elif args.figure == "fig14":
+        data = figures.run_shifted_plan(config, utilizations)
+        _print_sweep(data, "rejection_rate")
+    elif args.figure == "fig15":
+        data = figures.run_caida(config, utilizations)
+        _print_sweep(data, "rejection_rate")
+    elif args.figure == "fig16":
+        data = figures.run_runtime_scaling(config)
+        for rate, summary in data["by_rate"].items():
+            cells = "  ".join(
+                f"{a}={ci.mean:.3f}s" for a, ci in summary.items()
+            )
+            print(f"  rate={rate:g}: {cells}")
+        for utilization, summary in data["by_utilization"].items():
+            cells = "  ".join(
+                f"{a}={ci.mean:.3f}s" for a, ci in summary.items()
+            )
+            print(f"  util={utilization:.0%}: {cells}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

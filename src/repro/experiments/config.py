@@ -1,0 +1,90 @@
+"""Experiment configuration: Table III defaults and laptop-scale presets.
+
+``ExperimentConfig.paper()`` reproduces the paper's parameters verbatim
+(5400 planning slots, 600 online slots, measurement window 100–500,
+30 repetitions). ``ExperimentConfig.bench()`` preserves every structural
+parameter but shortens the horizons and repetition count so the full
+benchmark suite completes on a laptop; the shape comparisons the paper
+reports are insensitive to this scaling (see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.errors import SimulationError
+
+#: The paper sweeps utilization 60 %–140 % (Fig. 6/7); these are the points.
+PAPER_UTILIZATIONS = (0.6, 0.8, 1.0, 1.2, 1.4)
+#: Reduced sweep for the benchmark preset.
+BENCH_UTILIZATIONS = (0.6, 1.0, 1.4)
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """One experiment's parameters (Table III unless noted)."""
+
+    topology: str = "Iris"
+    utilization: float = 1.0
+    app_mix: str = "standard"  # standard | chain | tree | accelerator | gpu
+    trace_kind: str = "mmpp"  # mmpp | caida
+    gpu_scenario: bool = False
+    history_slots: int = 5400
+    online_slots: int = 600
+    measure_start: int = 100
+    measure_stop: int = 500
+    arrivals_per_node: float = 10.0
+    duration_mean: float = 10.0
+    demand_cv: float = 0.4  # N(10, 4) has σ/μ = 0.4
+    num_quantiles: int = 10
+    percentile_alpha: float = 80.0
+    repetitions: int = 30
+    base_seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0 < self.measure_start < self.measure_stop <= self.online_slots:
+            raise SimulationError(
+                "measurement window must fall inside the online phase"
+            )
+        if self.utilization <= 0:
+            raise SimulationError("utilization must be positive")
+
+    @property
+    def measure_window(self) -> tuple[int, int]:
+        return (self.measure_start, self.measure_stop)
+
+    @classmethod
+    def paper(cls, **overrides) -> "ExperimentConfig":
+        """Full-scale configuration, exactly as in Sec. IV-A."""
+        return cls(**overrides)
+
+    @classmethod
+    def bench(cls, **overrides) -> "ExperimentConfig":
+        """Laptop-scale preset used by the benchmark suite."""
+        defaults = dict(
+            history_slots=300,
+            online_slots=50,
+            measure_start=10,
+            measure_stop=40,
+            repetitions=2,
+        )
+        defaults.update(overrides)
+        return cls(**defaults)
+
+    @classmethod
+    def test(cls, **overrides) -> "ExperimentConfig":
+        """Minimal preset for unit/integration tests."""
+        defaults = dict(
+            topology="CittaStudi",
+            history_slots=120,
+            online_slots=24,
+            measure_start=4,
+            measure_stop=20,
+            repetitions=1,
+        )
+        defaults.update(overrides)
+        return cls(**defaults)
+
+    def with_(self, **overrides) -> "ExperimentConfig":
+        """A copy with some fields replaced."""
+        return replace(self, **overrides)

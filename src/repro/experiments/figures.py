@@ -1,0 +1,279 @@
+"""One driver per paper figure (Sec. IV-B).
+
+Every driver builds scenarios via :func:`repro.experiments.scenario.build_scenario`,
+runs the requested algorithms on the *same* trace and plan (the paper's
+methodology), and returns plain dicts of
+:class:`~repro.sim.runner.ConfidenceInterval` values keyed by
+``"{algorithm}:{metric}"`` — ready for the benchmark harness to print
+paper-shaped tables.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.scenario import Scenario, build_scenario, make_algorithm
+from repro.sim.engine import SimulationResult, simulate
+from repro.sim.metrics import (
+    NodeTimeline,
+    balance_index,
+    cost_breakdown,
+    demand_series,
+    rejection_rate,
+)
+from repro.sim.runner import ConfidenceInterval, repeat_runs
+
+DEFAULT_ALGORITHMS = ("OLIVE", "QUICKG", "SLOTOFF")
+
+
+def run_single(
+    config: ExperimentConfig,
+    seed: int,
+    algorithms: Sequence[str] = DEFAULT_ALGORITHMS,
+    **scenario_kwargs,
+) -> tuple[Scenario, dict[str, SimulationResult]]:
+    """Run one repetition of one configuration for several algorithms."""
+    with_plan = any(name == "OLIVE" for name in algorithms)
+    scenario = build_scenario(
+        config, seed, with_plan=with_plan, **scenario_kwargs
+    )
+    online = scenario.online_requests()
+    results = {}
+    for name in algorithms:
+        algorithm = make_algorithm(name, scenario)
+        results[name] = simulate(algorithm, online, config.online_slots)
+    return scenario, results
+
+
+def summarize_run(
+    scenario: Scenario, results: dict[str, SimulationResult]
+) -> dict[str, float]:
+    """Flatten one repetition's results into ``alg:metric`` values."""
+    window = scenario.config.measure_window
+    metrics: dict[str, float] = {}
+    for name, result in results.items():
+        costs = cost_breakdown(
+            result, scenario.substrate, scenario.apps, window
+        )
+        metrics[f"{name}:rejection_rate"] = rejection_rate(result, window)
+        metrics[f"{name}:resource_cost"] = costs.resource
+        metrics[f"{name}:rejection_cost"] = costs.rejection
+        metrics[f"{name}:total_cost"] = costs.total
+        metrics[f"{name}:runtime"] = result.runtime_seconds
+        metrics[f"{name}:balance"] = balance_index(
+            result, len(scenario.apps), window
+        )
+    return metrics
+
+
+def _sweep(
+    config: ExperimentConfig,
+    algorithms: Sequence[str],
+    **scenario_kwargs,
+) -> dict[str, ConfidenceInterval]:
+    """Repeat one configuration and summarize with confidence intervals."""
+
+    def one(seed: int) -> dict[str, float]:
+        scenario, results = run_single(
+            config, seed, algorithms, **scenario_kwargs
+        )
+        return summarize_run(scenario, results)
+
+    return repeat_runs(one, config.repetitions, config.base_seed)
+
+
+# -- Fig. 6 / Fig. 7: rejection rate and cost vs utilization -----------------
+
+
+def run_rejection_vs_utilization(
+    config: ExperimentConfig,
+    utilizations: Sequence[float],
+    algorithms: Sequence[str] = DEFAULT_ALGORITHMS,
+) -> dict[float, dict[str, ConfidenceInterval]]:
+    """The Fig. 6 (rejection) / Fig. 7 (cost) sweep for one topology."""
+    return {
+        utilization: _sweep(
+            config.with_(utilization=utilization), algorithms
+        )
+        for utilization in utilizations
+    }
+
+
+# -- Fig. 8: allocated-demand zoom -------------------------------------------
+
+
+def run_demand_zoom(
+    config: ExperimentConfig,
+    zoom: tuple[int, int],
+    algorithms: Sequence[str] = DEFAULT_ALGORITHMS,
+    seed: int | None = None,
+) -> dict[str, dict]:
+    """Per-slot requested vs allocated demand in a zoom window (Fig. 8)."""
+    scenario, results = run_single(
+        config, seed if seed is not None else config.base_seed, algorithms
+    )
+    return {
+        name: demand_series(result, zoom) for name, result in results.items()
+    }
+
+
+# -- Fig. 9: sensitivity to application type ---------------------------------
+
+
+def run_by_application(
+    config: ExperimentConfig,
+    app_types: Sequence[str] = ("chain", "tree", "accelerator", "standard"),
+    algorithms: Sequence[str] = ("OLIVE", "QUICKG", "FULLG", "SLOTOFF"),
+) -> dict[str, dict[str, ConfidenceInterval]]:
+    """Rejection rate per application type at one utilization (Fig. 9)."""
+    return {
+        app_type: _sweep(config.with_(app_mix=app_type), algorithms)
+        for app_type in app_types
+    }
+
+
+# -- Fig. 10: the GPU scenario ------------------------------------------------
+
+
+def run_gpu_scenario(
+    config: ExperimentConfig,
+    algorithms: Sequence[str] = ("OLIVE", "FULLG", "SLOTOFF"),
+) -> dict[str, ConfidenceInterval]:
+    """GPU-constrained chains on the split-GPU substrate (Fig. 10).
+
+    QUICKG is excluded by default, exactly as in the paper: its collocation
+    restriction cannot express a placement split across GPU and non-GPU
+    datacenters.
+    """
+    gpu_config = config.with_(gpu_scenario=True, app_mix="gpu")
+    return _sweep(gpu_config, algorithms)
+
+
+# -- Fig. 11: rejection balance vs quantile count ------------------------------
+
+
+def run_balance_quantiles(
+    config: ExperimentConfig,
+    quantile_counts: Sequence[int] = (1, 2, 10, 50),
+) -> dict[str, ConfidenceInterval]:
+    """Balance index for OLIVE at several P values plus QUICKG (Fig. 11)."""
+    out: dict[str, ConfidenceInterval] = {}
+    quickg = _sweep(config, ["QUICKG"])
+    out["QUICKG"] = quickg["QUICKG:balance"]
+    for count in quantile_counts:
+        summary = _sweep(config, ["OLIVE"], num_quantiles=count)
+        out[f"OLIVE:P={count}"] = summary["OLIVE:balance"]
+    return out
+
+
+# -- Fig. 12: per-node allocation timeline ------------------------------------
+
+
+def collect_node_timeline(
+    config: ExperimentConfig,
+    node: str = "Franklin",
+    seed: int | None = None,
+) -> NodeTimeline:
+    """OLIVE's guaranteed/borrowed/preempted activity at one node (Fig. 12)."""
+    scenario, results = run_single(
+        config, seed if seed is not None else config.base_seed, ["OLIVE"]
+    )
+    return NodeTimeline.collect(
+        results["OLIVE"], scenario.plan, node, len(scenario.apps)
+    )
+
+
+# -- Fig. 13: deviation from the expected demand -------------------------------
+
+
+def run_unexpected_demand(
+    config: ExperimentConfig,
+    plan_utilizations: Sequence[float] = (0.6, 1.0),
+    reference_algorithms: Sequence[str] = DEFAULT_ALGORITHMS,
+) -> dict[str, ConfidenceInterval]:
+    """Plan for 60 %/100 % expected demand, run at the configured 140 %.
+
+    Returns OLIVE's rejection rate per planning level, with OLIVE (plan at
+    the true level), QUICKG and SLOTOFF as references.
+    """
+    out: dict[str, ConfidenceInterval] = {}
+    reference = _sweep(config, reference_algorithms)
+    for name in reference_algorithms:
+        out[name] = reference[f"{name}:rejection_rate"]
+    for plan_utilization in plan_utilizations:
+        summary = _sweep(
+            config, ["OLIVE"], plan_utilization=plan_utilization
+        )
+        out[f"OLIVE:plan={plan_utilization:.0%}"] = summary[
+            "OLIVE:rejection_rate"
+        ]
+    return out
+
+
+# -- Fig. 14: spatially shifted plan -------------------------------------------
+
+
+def run_shifted_plan(
+    config: ExperimentConfig,
+    utilizations: Sequence[float],
+    algorithms: Sequence[str] = ("OLIVE", "QUICKG"),
+) -> dict[float, dict[str, ConfidenceInterval]]:
+    """Plan built from randomly re-located history requests (Fig. 14)."""
+    return {
+        utilization: _sweep(
+            config.with_(utilization=utilization),
+            algorithms,
+            shift_plan_ingress=True,
+        )
+        for utilization in utilizations
+    }
+
+
+# -- Fig. 15: CAIDA-derived demand ---------------------------------------------
+
+
+def run_caida(
+    config: ExperimentConfig,
+    utilizations: Sequence[float],
+    algorithms: Sequence[str] = DEFAULT_ALGORITHMS,
+) -> dict[float, dict[str, ConfidenceInterval]]:
+    """The Fig. 6a experiment on the CAIDA-like trace (Fig. 15)."""
+    caida = config.with_(trace_kind="caida")
+    return {
+        utilization: _sweep(
+            caida.with_(utilization=utilization), algorithms
+        )
+        for utilization in utilizations
+    }
+
+
+# -- Fig. 16: runtime scalability ------------------------------------------------
+
+
+def run_runtime_scaling(
+    config: ExperimentConfig,
+    arrival_rates: Sequence[float] = (2.0, 5.0, 10.0, 20.0),
+    utilizations: Sequence[float] = (0.6, 1.0, 1.4),
+    algorithms: Sequence[str] = ("OLIVE", "QUICKG"),
+) -> dict[str, dict]:
+    """Runtime vs arrival rate (Fig. 16a) and vs utilization (Fig. 16b–e).
+
+    Utilization is held constant while the arrival rate varies — the
+    demand-mean calibration scales request sizes down as the rate goes up,
+    exactly as in the paper ("we maintained the same utilization in all
+    executions by scaling the mean request size").
+    """
+    by_rate = {}
+    for rate in arrival_rates:
+        summary = _sweep(config.with_(arrivals_per_node=rate), algorithms)
+        by_rate[rate] = {
+            name: summary[f"{name}:runtime"] for name in algorithms
+        }
+    by_utilization = {}
+    for utilization in utilizations:
+        summary = _sweep(config.with_(utilization=utilization), algorithms)
+        by_utilization[utilization] = {
+            name: summary[f"{name}:runtime"] for name in algorithms
+        }
+    return {"by_rate": by_rate, "by_utilization": by_utilization}

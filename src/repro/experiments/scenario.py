@@ -1,0 +1,206 @@
+"""Scenario assembly: substrate + applications + trace + plan for one run.
+
+A :class:`Scenario` is everything a simulation needs, built deterministically
+from an :class:`ExperimentConfig` and a seed. The builder supports the
+evaluation's perturbation studies:
+
+* ``plan_utilization`` — build the plan from a history whose demand level
+  corresponds to a different utilization than the online phase encounters
+  (Fig. 13, "unexpected demand");
+* ``shift_plan_ingress`` — randomly remap the ingress of every history
+  request before planning (Fig. 14, "spatial distribution change");
+* ``num_quantiles`` — override P of the PLAN-VNE LP (Fig. 11).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.apps.application import Application
+from repro.apps.catalog import draw_standard_mix, make_uniform_type_set
+from repro.apps.efficiency import (
+    EfficiencyModel,
+    GpuAwareEfficiency,
+    UniformEfficiency,
+)
+from repro.baselines.fullg import FullGAlgorithm
+from repro.baselines.quickg import make_quickg
+from repro.baselines.slotoff import SlotOffAlgorithm
+from repro.core.olive import OliveAlgorithm
+from repro.errors import SimulationError
+from repro.experiments.config import ExperimentConfig
+from repro.plan.api import compute_plan
+from repro.plan.formulation import PlanVNEConfig
+from repro.plan.pattern import Plan
+from repro.stats.aggregate import build_aggregate_demand
+from repro.substrate.network import SubstrateNetwork
+from repro.substrate.topologies import make_topology, split_gpu_datacenters
+from repro.utils.rng import child_rng, make_rng
+from repro.workload.request import Request
+from repro.workload.trace import (
+    Trace,
+    TraceConfig,
+    demand_mean_for_utilization,
+    generate_caida_like_trace,
+    generate_mmpp_trace,
+)
+
+
+@dataclass
+class Scenario:
+    """One fully assembled simulation scenario."""
+
+    config: ExperimentConfig
+    seed: int
+    substrate: SubstrateNetwork
+    apps: list[Application]
+    efficiency: EfficiencyModel
+    trace: Trace
+    plan: Plan
+
+    def online_requests(self) -> list[Request]:
+        return self.trace.online_requests()
+
+
+def _draw_apps(config: ExperimentConfig, rng) -> list[Application]:
+    if config.app_mix == "standard":
+        return draw_standard_mix(rng)
+    return make_uniform_type_set(rng, config.app_mix)
+
+
+def build_scenario(
+    config: ExperimentConfig,
+    seed: int,
+    plan_utilization: float | None = None,
+    shift_plan_ingress: bool = False,
+    num_quantiles: int | None = None,
+    with_plan: bool = True,
+) -> Scenario:
+    """Assemble the scenario for one repetition (Alg. 1 steps 1–2)."""
+    rng = make_rng(seed)
+    substrate = make_topology(config.topology)
+    if config.gpu_scenario:
+        substrate = split_gpu_datacenters(
+            substrate, seed=seed
+        )
+        efficiency: EfficiencyModel = GpuAwareEfficiency()
+    else:
+        efficiency = UniformEfficiency()
+
+    apps = _draw_apps(config, child_rng(rng, "apps"))
+    demand_mean = demand_mean_for_utilization(
+        config.utilization,
+        substrate,
+        apps,
+        arrivals_per_node=config.arrivals_per_node,
+        duration_mean=config.duration_mean,
+    )
+    trace_config = TraceConfig(
+        history_slots=config.history_slots,
+        online_slots=config.online_slots,
+        arrivals_per_node=config.arrivals_per_node,
+        demand_mean=demand_mean,
+        demand_std=config.demand_cv * demand_mean,
+        duration_mean=config.duration_mean,
+    )
+    trace_rng = child_rng(rng, "trace")
+    if config.trace_kind == "mmpp":
+        trace = generate_mmpp_trace(substrate, apps, trace_config, trace_rng)
+    elif config.trace_kind == "caida":
+        trace = generate_caida_like_trace(
+            substrate, apps, trace_config, trace_rng
+        )
+    else:
+        raise SimulationError(f"unknown trace kind {config.trace_kind!r}")
+
+    plan = Plan()
+    if with_plan:
+        history = trace.history_requests()
+        if plan_utilization is not None and plan_utilization != config.utilization:
+            scale = plan_utilization / config.utilization
+            history = [
+                Request(
+                    arrival=r.arrival,
+                    id=r.id,
+                    app_index=r.app_index,
+                    ingress=r.ingress,
+                    demand=r.demand * scale,
+                    duration=r.duration,
+                )
+                for r in history
+            ]
+        if shift_plan_ingress:
+            shift_rng = child_rng(rng, "shift")
+            edge_nodes = substrate.edge_nodes
+            history = [
+                Request(
+                    arrival=r.arrival,
+                    id=r.id,
+                    app_index=r.app_index,
+                    ingress=edge_nodes[int(shift_rng.integers(0, len(edge_nodes)))],
+                    demand=r.demand,
+                    duration=r.duration,
+                )
+                for r in history
+            ]
+        aggregates = build_aggregate_demand(
+            history,
+            config.history_slots,
+            alpha=config.percentile_alpha,
+            rng=child_rng(rng, "bootstrap"),
+        )
+        plan = compute_plan(
+            substrate,
+            apps,
+            aggregates,
+            efficiency,
+            PlanVNEConfig(
+                num_quantiles=(
+                    num_quantiles
+                    if num_quantiles is not None
+                    else config.num_quantiles
+                )
+            ),
+        )
+    return Scenario(
+        config=config,
+        seed=seed,
+        substrate=substrate,
+        apps=apps,
+        efficiency=efficiency,
+        trace=trace,
+        plan=plan,
+    )
+
+
+#: Algorithm names recognized by :func:`make_algorithm`.
+ALGORITHM_NAMES = ("OLIVE", "QUICKG", "FULLG", "SLOTOFF")
+
+
+def make_algorithm(name: str, scenario: Scenario):
+    """Instantiate a fresh algorithm for one simulation run."""
+    if name == "OLIVE":
+        return OliveAlgorithm(
+            scenario.substrate,
+            scenario.apps,
+            scenario.plan,
+            efficiency=scenario.efficiency,
+        )
+    if name == "QUICKG":
+        return make_quickg(
+            scenario.substrate, scenario.apps, scenario.efficiency
+        )
+    if name == "FULLG":
+        return FullGAlgorithm(
+            scenario.substrate, scenario.apps, scenario.efficiency
+        )
+    if name == "SLOTOFF":
+        return SlotOffAlgorithm(
+            scenario.substrate,
+            scenario.apps,
+            scenario.efficiency,
+            PlanVNEConfig(num_quantiles=scenario.config.num_quantiles),
+        )
+    raise SimulationError(
+        f"unknown algorithm {name!r}; known: {ALGORITHM_NAMES}"
+    )

@@ -1,0 +1,12 @@
+"""Declarative linear-programming layer on top of scipy's HiGHS solver.
+
+The paper solves PLAN-VNE and the SLOTOFF per-slot instances with CPLEX.
+CPLEX is proprietary; this package provides the same capability — build a
+sparse LP from named variables and linear constraints, solve it, and read
+back variable values — using :func:`scipy.optimize.linprog` (HiGHS backend).
+"""
+
+from repro.lp.model import ConstraintSense, LinearProgram, LPSolution
+from repro.lp.solver import solve_lp
+
+__all__ = ["LinearProgram", "LPSolution", "ConstraintSense", "solve_lp"]

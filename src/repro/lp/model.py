@@ -1,0 +1,214 @@
+"""In-memory LP model: variables, linear constraints, minimization objective.
+
+The model is intentionally small: the formulations in this library (PLAN-VNE
+and its per-slot SLOTOFF variant) only need bounded continuous variables,
+``<=`` / ``>=`` / ``==`` row constraints, and a linear objective. Rows are
+stored in COO-triplet form so compilation to scipy sparse matrices is a
+single pass.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import LPError
+
+
+class ConstraintSense(enum.Enum):
+    """Row sense of a linear constraint."""
+
+    LE = "<="
+    GE = ">="
+    EQ = "=="
+
+
+@dataclass
+class _Row:
+    """One constraint row in triplet form."""
+
+    variables: list[int]
+    coefficients: list[float]
+    sense: ConstraintSense
+    rhs: float
+    name: str
+
+
+class LinearProgram:
+    """A minimization LP under construction.
+
+    Variables are identified by the integer index returned from
+    :meth:`add_variable`; an optional string name enables lookup by name
+    (used heavily by tests).
+    """
+
+    def __init__(self, name: str = "lp") -> None:
+        self.name = name
+        self._lower: list[float] = []
+        self._upper: list[float] = []
+        self._objective: list[float] = []
+        self._names: list[str] = []
+        self._by_name: dict[str, int] = {}
+        self._rows: list[_Row] = []
+
+    # -- variables ---------------------------------------------------------
+
+    def add_variable(
+        self,
+        name: str = "",
+        lower: float = 0.0,
+        upper: float = math.inf,
+        objective: float = 0.0,
+    ) -> int:
+        """Add a continuous variable and return its index."""
+        if lower > upper:
+            raise LPError(
+                f"variable {name!r}: lower bound {lower} exceeds upper {upper}"
+            )
+        index = len(self._lower)
+        self._lower.append(float(lower))
+        self._upper.append(float(upper))
+        self._objective.append(float(objective))
+        self._names.append(name)
+        if name:
+            if name in self._by_name:
+                raise LPError(f"duplicate variable name {name!r}")
+            self._by_name[name] = index
+        return index
+
+    def variable_index(self, name: str) -> int:
+        """Look up a variable index by name."""
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise LPError(f"unknown variable {name!r}") from None
+
+    def objective_coefficient(self, variable: int) -> float:
+        """Current objective coefficient of a variable."""
+        return self._objective[variable]
+
+    def set_objective(self, variable: int, coefficient: float) -> None:
+        """Set (overwrite) a variable's objective coefficient."""
+        self._objective[variable] = float(coefficient)
+
+    def add_objective(self, variable: int, coefficient: float) -> None:
+        """Accumulate into a variable's objective coefficient."""
+        self._objective[variable] += float(coefficient)
+
+    @property
+    def num_variables(self) -> int:
+        return len(self._lower)
+
+    @property
+    def num_constraints(self) -> int:
+        return len(self._rows)
+
+    # -- constraints -------------------------------------------------------
+
+    def add_constraint(
+        self,
+        terms: dict[int, float] | list[tuple[int, float]],
+        sense: ConstraintSense,
+        rhs: float,
+        name: str = "",
+    ) -> int:
+        """Add a row ``sum(coef * var) <sense> rhs``; returns the row index.
+
+        ``terms`` may repeat a variable; repeated coefficients accumulate.
+        """
+        if isinstance(terms, dict):
+            pairs = list(terms.items())
+        else:
+            pairs = list(terms)
+        merged: dict[int, float] = {}
+        for variable, coefficient in pairs:
+            if not 0 <= variable < self.num_variables:
+                raise LPError(f"constraint {name!r}: unknown variable {variable}")
+            merged[variable] = merged.get(variable, 0.0) + float(coefficient)
+        row = _Row(
+            variables=list(merged.keys()),
+            coefficients=list(merged.values()),
+            sense=sense,
+            rhs=float(rhs),
+            name=name,
+        )
+        self._rows.append(row)
+        return len(self._rows) - 1
+
+    # -- compilation -------------------------------------------------------
+
+    def compile(self) -> "CompiledLP":
+        """Compile to the arrays scipy's ``linprog`` expects."""
+        ub_rows: list[_Row] = []
+        eq_rows: list[_Row] = []
+        for row in self._rows:
+            if row.sense is ConstraintSense.EQ:
+                eq_rows.append(row)
+            else:
+                ub_rows.append(row)
+
+        def triplets(rows: list[_Row], flip_ge: bool):
+            data: list[float] = []
+            row_idx: list[int] = []
+            col_idx: list[int] = []
+            rhs = np.empty(len(rows))
+            for i, row in enumerate(rows):
+                sign = 1.0
+                if flip_ge and row.sense is ConstraintSense.GE:
+                    sign = -1.0
+                rhs[i] = sign * row.rhs
+                for variable, coefficient in zip(row.variables, row.coefficients):
+                    data.append(sign * coefficient)
+                    row_idx.append(i)
+                    col_idx.append(variable)
+            return data, row_idx, col_idx, rhs
+
+        ub = triplets(ub_rows, flip_ge=True)
+        eq = triplets(eq_rows, flip_ge=False)
+        return CompiledLP(
+            objective=np.asarray(self._objective),
+            lower=np.asarray(self._lower),
+            upper=np.asarray(self._upper),
+            ub_triplets=ub[:3],
+            ub_rhs=ub[3],
+            eq_triplets=eq[:3],
+            eq_rhs=eq[3],
+            num_variables=self.num_variables,
+        )
+
+
+@dataclass
+class CompiledLP:
+    """Sparse-triplet form of a :class:`LinearProgram`, ready for scipy."""
+
+    objective: np.ndarray
+    lower: np.ndarray
+    upper: np.ndarray
+    ub_triplets: tuple[list[float], list[int], list[int]]
+    ub_rhs: np.ndarray
+    eq_triplets: tuple[list[float], list[int], list[int]]
+    eq_rhs: np.ndarray
+    num_variables: int
+
+
+@dataclass
+class LPSolution:
+    """Optimal solution of an LP.
+
+    ``values`` is indexed by variable index; :meth:`value` accepts either an
+    index or a variable name (resolved through the originating program).
+    """
+
+    program: LinearProgram
+    objective: float
+    values: np.ndarray
+    status: str = "optimal"
+    _residual_cache: dict = field(default_factory=dict, repr=False)
+
+    def value(self, variable: int | str) -> float:
+        if isinstance(variable, str):
+            variable = self.program.variable_index(variable)
+        return float(self.values[variable])

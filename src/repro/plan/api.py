@@ -1,0 +1,71 @@
+"""Top-level plan computation: build LP → solve → decompose (Alg. 1 step 2)."""
+
+from __future__ import annotations
+
+from repro.apps.application import ROOT_ID, Application
+from repro.apps.efficiency import EfficiencyModel
+from repro.lp.solver import solve_lp
+from repro.plan.decompose import DEFAULT_TOLERANCE, decompose_class
+from repro.plan.formulation import PlanVNEConfig, build_plan_vne
+from repro.plan.pattern import ClassPlan, Plan
+from repro.stats.aggregate import AggregateRequest
+from repro.substrate.network import SubstrateNetwork
+
+
+def empty_plan() -> Plan:
+    """The degenerate plan that turns OLIVE into the QUICKG baseline."""
+    return Plan()
+
+
+def compute_plan(
+    substrate: SubstrateNetwork,
+    apps: list[Application],
+    aggregates: list[AggregateRequest],
+    efficiency: EfficiencyModel | None = None,
+    config: PlanVNEConfig | None = None,
+    tolerance: float = DEFAULT_TOLERANCE,
+) -> Plan:
+    """Solve PLAN-VNE for the aggregated demand and decompose into patterns.
+
+    Returns an empty plan when there is no aggregated demand (an empty
+    history legitimately produces one — OLIVE then behaves like QUICKG).
+    """
+    if not aggregates:
+        return Plan()
+    model = build_plan_vne(substrate, apps, aggregates, efficiency, config)
+    solution = solve_lp(model.program)
+
+    classes: dict = {}
+    for c, aggregate in enumerate(aggregates):
+        app = apps[aggregate.app_index]
+        node_mass: dict[int, dict[str, float]] = {}
+        for vnf in app.vnfs:
+            masses = {}
+            for v in substrate.nodes:
+                var = model.node_vars.get((c, vnf.id, v))
+                if var is not None:
+                    value = solution.values[var]
+                    if value > tolerance:
+                        masses[v] = float(value)
+            node_mass[vnf.id] = masses
+        arc_flow: dict[tuple[int, int], dict[tuple[str, str], float]] = {}
+        for vlink in app.links:
+            flows = {}
+            for (a, b) in substrate.links:
+                for arc in ((a, b), (b, a)):
+                    value = solution.values[model.arc_vars[(c, vlink.key, arc)]]
+                    if value > tolerance:
+                        flows[arc] = float(value)
+            arc_flow[vlink.key] = flows
+
+        patterns, _lost = decompose_class(
+            app, aggregate.ingress, node_mass, arc_flow, tolerance
+        )
+        if patterns:
+            allocated = sum(p.weight for p in patterns)
+            classes[aggregate.class_key] = ClassPlan(
+                aggregate=aggregate,
+                patterns=patterns,
+                rejected_fraction=max(0.0, 1.0 - allocated),
+            )
+    return Plan(classes=classes, objective=solution.objective)

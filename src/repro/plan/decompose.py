@@ -1,0 +1,174 @@
+"""Flow decomposition of a PLAN-VNE solution into embedding patterns.
+
+The LP yields, per class, a placement distribution per VNF (node masses)
+and a flow per virtual link (arc flows) satisfying conservation (Eq. 14).
+Because the virtual networks are trees rooted at θ — whose placement is
+pinned to the ingress — the fractional embedding decomposes exactly into
+unsplittable patterns: repeatedly trace one concrete mapping root-outward,
+take the bottleneck weight, subtract it everywhere, and repeat until the
+allocated fraction is consumed.
+
+Cycles cannot appear in an optimal solution (they strictly add cost), but
+the tracer cancels them defensively so numerical artifacts never loop.
+"""
+
+from __future__ import annotations
+
+from repro.apps.application import ROOT_ID, Application
+from repro.errors import PlanError
+from repro.plan.pattern import EmbeddingPattern
+from repro.substrate.network import LinkId, NodeId, link_id
+
+Arc = tuple[NodeId, NodeId]
+VLinkKey = tuple[int, int]
+
+#: Masses/flows below this threshold are treated as numerical zero.
+DEFAULT_TOLERANCE = 1e-7
+
+
+def decompose_class(
+    app: Application,
+    ingress: NodeId,
+    node_mass: dict[int, dict[NodeId, float]],
+    arc_flow: dict[VLinkKey, dict[Arc, float]],
+    tolerance: float = DEFAULT_TOLERANCE,
+) -> tuple[list[EmbeddingPattern], float]:
+    """Decompose one class's fractional embedding into patterns.
+
+    Parameters
+    ----------
+    node_mass:
+        VNF id → node → allocated fraction (mutated in place).
+    arc_flow:
+        Virtual link → directed arc → flow value (mutated in place).
+
+    Returns
+    -------
+    (patterns, lost):
+        The extracted patterns and the fraction of allocated mass that
+        could not be decomposed (numerical dust; ~0 for solver output).
+    """
+    remaining = node_mass.get(ROOT_ID, {}).get(ingress, 0.0)
+    patterns: list[EmbeddingPattern] = []
+    ordered_links = app.links_in_bfs_order()
+    while remaining > tolerance:
+        trace = _trace_pattern(
+            ingress, ordered_links, node_mass, arc_flow, remaining, tolerance
+        )
+        if trace is None:
+            break
+        node_map, link_paths, weight = trace
+        _subtract(node_map, link_paths, weight, node_mass, arc_flow, ingress)
+        patterns.append(
+            EmbeddingPattern(
+                node_map=node_map,
+                link_paths={
+                    key: tuple(path) for key, path in link_paths.items()
+                },
+                weight=weight,
+            )
+        )
+        remaining -= weight
+    return patterns, max(remaining, 0.0)
+
+
+def _trace_pattern(
+    ingress: NodeId,
+    ordered_links,
+    node_mass: dict[int, dict[NodeId, float]],
+    arc_flow: dict[VLinkKey, dict[Arc, float]],
+    remaining: float,
+    tolerance: float,
+) -> tuple[dict[int, NodeId], dict[VLinkKey, list[LinkId]], float] | None:
+    """Trace one pattern root-outward; returns None on a dead end."""
+    node_map: dict[int, NodeId] = {ROOT_ID: ingress}
+    link_paths: dict[VLinkKey, list[LinkId]] = {}
+    weight = remaining
+    for vlink in ordered_links:
+        start = node_map[vlink.tail]
+        result = _trace_flow_path(
+            arc_flow[vlink.key], node_mass.get(vlink.head, {}), start, tolerance
+        )
+        if result is None:
+            return None
+        arcs, terminal, bottleneck = result
+        node_map[vlink.head] = terminal
+        link_paths[vlink.key] = [link_id(u, v) for (u, v) in arcs]
+        weight = min(weight, bottleneck)
+    if weight <= tolerance:
+        return None
+    return node_map, link_paths, weight
+
+
+def _trace_flow_path(
+    flows: dict[Arc, float],
+    sink_mass: dict[NodeId, float],
+    start: NodeId,
+    tolerance: float,
+) -> tuple[list[Arc], NodeId, float] | None:
+    """Walk arc flows from ``start`` until sink mass is reached.
+
+    Termination is sink-greedy: stop at the first node with positive sink
+    mass (preferring collocation when ``start`` itself is a sink), else
+    follow the largest outgoing flow. Cycles are cancelled and the walk
+    restarts.
+    """
+    for _ in range(1 + len(flows)):  # each restart cancels ≥ 1 cycle
+        arcs: list[Arc] = []
+        node = start
+        position: dict[NodeId, int] = {start: 0}
+        cancelled = False
+        while True:
+            if sink_mass.get(node, 0.0) > tolerance:
+                bottleneck = sink_mass[node]
+                for arc in arcs:
+                    bottleneck = min(bottleneck, flows[arc])
+                return arcs, node, bottleneck
+            best_arc, best_flow = None, tolerance
+            for arc, flow in flows.items():
+                if arc[0] == node and flow > best_flow:
+                    best_arc, best_flow = arc, flow
+            if best_arc is None:
+                return None  # dead end: no sink here, no outgoing flow
+            nxt = best_arc[1]
+            if nxt in position:
+                _cancel_cycle(flows, arcs + [best_arc], position[nxt])
+                cancelled = True
+                break
+            arcs.append(best_arc)
+            position[nxt] = len(arcs)
+            node = nxt
+        if not cancelled:  # pragma: no cover - loop exits via returns
+            return None
+    raise PlanError("flow decomposition failed to terminate")  # pragma: no cover
+
+
+def _cancel_cycle(
+    flows: dict[Arc, float], arcs: list[Arc], cycle_start: int
+) -> None:
+    """Remove a detected cycle by subtracting its bottleneck flow."""
+    cycle = arcs[cycle_start:]
+    bottleneck = min(flows[arc] for arc in cycle)
+    for arc in cycle:
+        flows[arc] -= bottleneck
+
+
+def _subtract(
+    node_map: dict[int, NodeId],
+    link_paths: dict[VLinkKey, list[LinkId]],
+    weight: float,
+    node_mass: dict[int, dict[NodeId, float]],
+    arc_flow: dict[VLinkKey, dict[Arc, float]],
+    ingress: NodeId,
+) -> None:
+    """Subtract one pattern's weight from the fractional solution."""
+    node_mass[ROOT_ID][ingress] -= weight
+    for key, path in link_paths.items():
+        head = key[1]
+        node_mass[head][node_map[head]] -= weight
+        node = node_map[key[0]]
+        for link in path:
+            a, b = link
+            arc = (node, b) if node == a else (node, a)
+            arc_flow[key][arc] -= weight
+            node = arc[1]

@@ -1,0 +1,220 @@
+"""The PLAN-VNE linear program (Fig. 4).
+
+Decision variables, per aggregate class r̃ (app a, ingress v(r̃)):
+
+* ``y_node[c, i, v]`` ∈ [0, 1] — fraction of d(r̃) placing VNF i on node v
+  (Eq. 10). The root θ only gets a variable at the ingress (Eq. 11); a VNF
+  only gets variables on datacenters where η permits placement (the hard
+  form of "extremely high η^q_s to prevent mapping").
+* ``y_arc[c, (i,j), (u,v)]`` ≥ 0 — flow of virtual link (i, j) on the
+  directed substrate arc u→v.
+* ``y_q[c, p]`` ∈ [0, 1/P] — rejected fraction assigned to quantile p
+  (Eq. 12), with rejection cost ψ·p (Eq. 9) producing the water-filling
+  starvation protection.
+
+Constraints: root balance (Eq. 13), per-virtual-link flow conservation
+(Eq. 14), and element capacities (Eq. 15). Objective: resource cost
+(Eqs. 7–8) plus quantile rejection cost (Eq. 9).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.apps.application import ROOT_ID, Application
+from repro.apps.efficiency import EfficiencyModel, UniformEfficiency
+from repro.errors import PlanError
+from repro.lp.model import ConstraintSense, LinearProgram
+from repro.plan.rejection import rejection_factor
+from repro.stats.aggregate import AggregateRequest
+from repro.substrate.network import LinkId, NodeId, SubstrateNetwork
+
+Arc = tuple[NodeId, NodeId]
+VLinkKey = tuple[int, int]
+
+
+@dataclass
+class PlanVNEConfig:
+    """Tunables of the PLAN-VNE LP.
+
+    ``num_quantiles`` is P of Eq. 12 (the paper settles on 10 after the
+    Fig. 11 study). ``rejection_base`` overrides the per-application ψ; by
+    default ψ is derived from the substrate's most expensive elements (see
+    :mod:`repro.plan.rejection`).
+    """
+
+    num_quantiles: int = 10
+    rejection_base: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.num_quantiles < 1:
+            raise PlanError("need at least one rejection quantile")
+
+
+@dataclass
+class PlanVNEModel:
+    """A built PLAN-VNE instance: the LP plus variable lookup tables."""
+
+    program: LinearProgram
+    substrate: SubstrateNetwork
+    apps: list[Application]
+    aggregates: list[AggregateRequest]
+    efficiency: EfficiencyModel
+    config: PlanVNEConfig
+    #: (class_idx, vnf_id, node) → LP variable index.
+    node_vars: dict[tuple[int, int, NodeId], int] = field(default_factory=dict)
+    #: (class_idx, vlink_key, arc) → LP variable index.
+    arc_vars: dict[tuple[int, VLinkKey, Arc], int] = field(default_factory=dict)
+    #: (class_idx, quantile p) → LP variable index.
+    quantile_vars: dict[tuple[int, int], int] = field(default_factory=dict)
+
+
+def build_plan_vne(
+    substrate: SubstrateNetwork,
+    apps: list[Application],
+    aggregates: list[AggregateRequest],
+    efficiency: EfficiencyModel | None = None,
+    config: PlanVNEConfig | None = None,
+) -> PlanVNEModel:
+    """Construct the Fig. 4 LP for the given aggregated demand."""
+    efficiency = efficiency or UniformEfficiency()
+    config = config or PlanVNEConfig()
+    program = LinearProgram(name="plan-vne")
+    model = PlanVNEModel(
+        program=program,
+        substrate=substrate,
+        apps=apps,
+        aggregates=aggregates,
+        efficiency=efficiency,
+        config=config,
+    )
+
+    arcs: list[tuple[Arc, LinkId]] = []
+    for (a, b) in substrate.links:
+        arcs.append(((a, b), (a, b)))
+        arcs.append(((b, a), (a, b)))
+
+    # Capacity accumulators: element → list[(variable, load coefficient)].
+    node_cap_terms: dict[NodeId, list[tuple[int, float]]] = {
+        v: [] for v in substrate.nodes
+    }
+    link_cap_terms: dict[LinkId, list[tuple[int, float]]] = {
+        l: [] for l in substrate.links
+    }
+
+    for c, aggregate in enumerate(aggregates):
+        app = apps[aggregate.app_index]
+        if aggregate.ingress not in substrate.nodes:
+            raise PlanError(
+                f"class {aggregate.class_key}: unknown ingress "
+                f"{aggregate.ingress!r}"
+            )
+        demand = aggregate.demand
+        psi = (
+            config.rejection_base
+            if config.rejection_base is not None
+            else rejection_factor(app, substrate)
+        )
+
+        # -- node variables (Eqs. 10–11) --------------------------------
+        for vnf in app.vnfs:
+            if vnf.id == ROOT_ID:
+                # θ exists only at the ingress; β_θ = 0 so no load terms.
+                var = program.add_variable(
+                    name=f"y[{c}]n[{vnf.id}]@{aggregate.ingress}",
+                    lower=0.0,
+                    upper=1.0,
+                )
+                model.node_vars[(c, vnf.id, aggregate.ingress)] = var
+                continue
+            for v, attrs in substrate.nodes.items():
+                eta = efficiency.node_eta(vnf, attrs)
+                if eta is None:
+                    continue
+                load_coef = demand * vnf.size * eta
+                var = program.add_variable(
+                    name=f"y[{c}]n[{vnf.id}]@{v}",
+                    lower=0.0,
+                    upper=1.0,
+                    objective=load_coef * attrs.cost,
+                )
+                model.node_vars[(c, vnf.id, v)] = var
+                if load_coef > 0:
+                    node_cap_terms[v].append((var, load_coef))
+
+        # -- arc variables ------------------------------------------------
+        for vlink in app.links:
+            for arc, link in arcs:
+                link_attrs = substrate.links[link]
+                eta = efficiency.link_eta(vlink, link_attrs)
+                load_coef = demand * vlink.size * eta
+                var = program.add_variable(
+                    name=f"y[{c}]l[{vlink.tail}-{vlink.head}]@{arc[0]}>{arc[1]}",
+                    lower=0.0,
+                    upper=1.0,
+                    objective=load_coef * link_attrs.cost,
+                )
+                model.arc_vars[(c, vlink.key, arc)] = var
+                if load_coef > 0:
+                    link_cap_terms[link].append((var, load_coef))
+
+        # -- quantile variables (Eqs. 9, 12) -----------------------------
+        P = config.num_quantiles
+        for p in range(1, P + 1):
+            var = program.add_variable(
+                name=f"y[{c}]q[{p}]",
+                lower=0.0,
+                upper=1.0 / P,
+                objective=psi * demand * p,
+            )
+            model.quantile_vars[(c, p)] = var
+
+        # -- root balance (Eq. 13) ---------------------------------------
+        root_var = model.node_vars[(c, ROOT_ID, aggregate.ingress)]
+        terms = {root_var: 1.0}
+        for p in range(1, P + 1):
+            terms[model.quantile_vars[(c, p)]] = 1.0
+        program.add_constraint(
+            terms, ConstraintSense.EQ, 1.0, name=f"root-balance[{c}]"
+        )
+
+        # -- flow conservation (Eq. 14) ----------------------------------
+        for vlink in app.links:
+            for v in substrate.nodes:
+                terms = {}
+                head_var = model.node_vars.get((c, vlink.head, v))
+                if head_var is not None:
+                    terms[head_var] = 1.0
+                tail_var = model.node_vars.get((c, vlink.tail, v))
+                if tail_var is not None:
+                    terms[tail_var] = -1.0
+                for w, link in substrate.adjacency[v]:
+                    terms[model.arc_vars[(c, vlink.key, (w, v))]] = -1.0
+                    terms[model.arc_vars[(c, vlink.key, (v, w))]] = 1.0
+                if terms:
+                    program.add_constraint(
+                        terms,
+                        ConstraintSense.EQ,
+                        0.0,
+                        name=f"flow[{c}][{vlink.tail}-{vlink.head}]@{v}",
+                    )
+
+    # -- capacity constraints (Eq. 15), one row per substrate element ------
+    for v, terms in node_cap_terms.items():
+        if terms:
+            program.add_constraint(
+                terms,
+                ConstraintSense.LE,
+                substrate.node_capacity(v),
+                name=f"cap-node@{v}",
+            )
+    for link, terms in link_cap_terms.items():
+        if terms:
+            program.add_constraint(
+                terms,
+                ConstraintSense.LE,
+                substrate.link_capacity(link),
+                name=f"cap-link@{link[0]}-{link[1]}",
+            )
+
+    return model

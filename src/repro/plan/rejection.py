@@ -1,0 +1,29 @@
+"""Rejection penalty factors ψ (Sec. II-B, Sec. IV-B).
+
+The evaluation sets "a very conservative rejection penalty factor ψ(r) that
+equals the cost of allocating elements q of a(r) on the most expensive
+elements s": rejecting a unit of demand for one slot costs as much as
+embedding it on the priciest resources. We charge each VNF at the maximum
+node cost and each virtual link at the maximum link cost times a reference
+path length (substrate paths span multiple hops; three matches the
+edge→transport→core depth of the evaluation topologies).
+"""
+
+from __future__ import annotations
+
+from repro.apps.application import Application
+from repro.substrate.network import SubstrateNetwork
+
+#: Reference hop count for pricing a rejected virtual link.
+DEFAULT_PATH_HOPS = 3
+
+
+def rejection_factor(
+    app: Application,
+    substrate: SubstrateNetwork,
+    path_hops: int = DEFAULT_PATH_HOPS,
+) -> float:
+    """ψ for one application: worst-case per-unit-demand per-slot cost."""
+    node_part = app.total_node_size() * substrate.max_node_cost()
+    link_part = app.total_link_size() * substrate.max_link_cost() * path_hops
+    return node_part + link_part

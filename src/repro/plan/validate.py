@@ -1,0 +1,136 @@
+"""Plan validation: certify a plan against its substrate.
+
+A valid plan must be deployable at full guarantee: if every class drew its
+entire planned capacity simultaneously, no substrate element may exceed its
+capacity (Eq. 15), every pattern's paths must be contiguous and connect
+their endpoint placements, and the root must sit at the class ingress
+(Eq. 11). :func:`validate_plan` checks all of it and reports violations —
+useful both as a test oracle and as a safety gate when plans come from an
+external solver.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.apps.application import ROOT_ID, Application
+from repro.apps.efficiency import EfficiencyModel, UniformEfficiency
+from repro.plan.pattern import Plan
+from repro.substrate.network import SubstrateNetwork
+
+
+@dataclass
+class PlanValidation:
+    """Outcome of :func:`validate_plan`."""
+
+    violations: list[str] = field(default_factory=list)
+    #: Peak planned load per node/link at full guarantee.
+    node_load: dict = field(default_factory=dict)
+    link_load: dict = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+
+def validate_plan(
+    plan: Plan,
+    substrate: SubstrateNetwork,
+    apps: list[Application],
+    efficiency: EfficiencyModel | None = None,
+    tolerance: float = 1e-6,
+) -> PlanValidation:
+    """Check structural and capacity consistency of a plan."""
+    efficiency = efficiency or UniformEfficiency()
+    result = PlanValidation(
+        node_load={v: 0.0 for v in substrate.nodes},
+        link_load={l: 0.0 for l in substrate.links},
+    )
+
+    for key, class_plan in plan.classes.items():
+        app_index, ingress = key
+        if not 0 <= app_index < len(apps):
+            result.violations.append(f"{key}: unknown application index")
+            continue
+        app = apps[app_index]
+        if ingress not in substrate.nodes:
+            result.violations.append(f"{key}: unknown ingress {ingress!r}")
+            continue
+        demand = class_plan.aggregate.demand
+        if class_plan.allocated_fraction > 1.0 + tolerance:
+            result.violations.append(
+                f"{key}: allocated fraction "
+                f"{class_plan.allocated_fraction:.4f} exceeds 1"
+            )
+        for index, pattern in enumerate(class_plan.patterns):
+            label = f"{key} pattern {index}"
+            if pattern.node_map.get(ROOT_ID) != ingress:
+                result.violations.append(
+                    f"{label}: root not pinned to the ingress (Eq. 11)"
+                )
+            missing = {vnf.id for vnf in app.vnfs} - set(pattern.node_map)
+            if missing:
+                result.violations.append(f"{label}: unmapped VNFs {missing}")
+                continue
+            scale = pattern.weight * demand
+            for vnf in app.non_root_vnfs():
+                host = pattern.node_map[vnf.id]
+                if host not in substrate.nodes:
+                    result.violations.append(
+                        f"{label}: unknown node {host!r}"
+                    )
+                    continue
+                eta = efficiency.node_eta(vnf, substrate.nodes[host])
+                if eta is None:
+                    result.violations.append(
+                        f"{label}: VNF {vnf.id} on forbidden node {host!r}"
+                    )
+                    continue
+                result.node_load[host] += scale * vnf.size * eta
+            for vlink in app.links:
+                path = pattern.link_paths.get(vlink.key)
+                if path is None:
+                    result.violations.append(
+                        f"{label}: missing path for virtual link {vlink.key}"
+                    )
+                    continue
+                node = pattern.node_map[vlink.tail]
+                broken = False
+                for link in path:
+                    if link not in substrate.links:
+                        result.violations.append(
+                            f"{label}: unknown link {link}"
+                        )
+                        broken = True
+                        break
+                    a, b = link
+                    if node not in (a, b):
+                        result.violations.append(
+                            f"{label}: discontiguous path at {link}"
+                        )
+                        broken = True
+                        break
+                    node = b if node == a else a
+                    eta = efficiency.link_eta(vlink, substrate.links[link])
+                    result.link_load[link] += scale * vlink.size * eta
+                if not broken and node != pattern.node_map[vlink.head]:
+                    result.violations.append(
+                        f"{label}: path for {vlink.key} ends at {node!r}, "
+                        f"expected {pattern.node_map[vlink.head]!r}"
+                    )
+
+    for node, load in result.node_load.items():
+        capacity = substrate.node_capacity(node)
+        if load > capacity * (1.0 + tolerance):
+            result.violations.append(
+                f"node {node!r}: planned load {load:.1f} exceeds "
+                f"capacity {capacity:.1f}"
+            )
+    for link, load in result.link_load.items():
+        capacity = substrate.link_capacity(link)
+        if load > capacity * (1.0 + tolerance):
+            result.violations.append(
+                f"link {link}: planned load {load:.1f} exceeds "
+                f"capacity {capacity:.1f}"
+            )
+    return result

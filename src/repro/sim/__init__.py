@@ -1,0 +1,25 @@
+"""Discrete-time simulation engine, metrics, and the experiment runner."""
+
+from repro.sim.engine import SimulationResult, SlotSimulator, simulate
+from repro.sim.metrics import (
+    NodeTimeline,
+    balance_index,
+    cost_breakdown,
+    demand_series,
+    rejection_rate,
+)
+from repro.sim.runner import ConfidenceInterval, confidence_interval, repeat_runs
+
+__all__ = [
+    "SlotSimulator",
+    "SimulationResult",
+    "simulate",
+    "rejection_rate",
+    "cost_breakdown",
+    "balance_index",
+    "demand_series",
+    "NodeTimeline",
+    "ConfidenceInterval",
+    "confidence_interval",
+    "repeat_runs",
+]

@@ -1,0 +1,141 @@
+"""The slot-based simulator driving online algorithms (Fig. 2 semantics).
+
+Each slot: departures are released first (OLIVE Algorithm 2 line 5), then
+arrivals are processed one by one in arrival order. Two algorithm shapes
+are supported:
+
+* per-request algorithms (OLIVE, QUICKG, FULLG) expose
+  ``process(request) → Decision``;
+* batch algorithms (SLOTOFF) expose ``run_slot(t, arrivals) → SlotResult``.
+
+Both expose ``release(request)``, ``active_demand()`` and
+``active_cost_per_slot()``.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.olive import Decision
+from repro.errors import SimulationError
+from repro.workload.request import Request
+
+
+@dataclass
+class SimulationResult:
+    """Everything an experiment needs from one simulation run."""
+
+    algorithm_name: str
+    num_slots: int
+    decisions: list[Decision]
+    #: Requests preempted after acceptance, with the slot it happened.
+    preemptions: list[tuple[Request, int]]
+    #: Per-slot total demand of requests arriving in that slot.
+    requested_demand: np.ndarray
+    #: Per-slot demand of currently embedded (active) requests.
+    allocated_demand: np.ndarray
+    #: Per-slot resource cost Σ_s load(s)·cost(s).
+    resource_cost: np.ndarray
+    #: Wall-clock seconds spent inside the algorithm (runtime metric).
+    runtime_seconds: float
+
+    #: request id → Decision, for per-request lookups.
+    decision_by_id: dict[int, Decision] = field(default_factory=dict)
+    #: ids of requests that were preempted after acceptance.
+    preempted_ids: set[int] = field(default_factory=set)
+
+    def __post_init__(self) -> None:
+        if not self.decision_by_id:
+            self.decision_by_id = {d.request.id: d for d in self.decisions}
+        if not self.preempted_ids:
+            self.preempted_ids = {r.id for r, _ in self.preemptions}
+
+    def served(self, request: Request) -> bool:
+        """Accepted and never preempted."""
+        decision = self.decision_by_id.get(request.id)
+        return (
+            decision is not None
+            and decision.accepted
+            and request.id not in self.preempted_ids
+        )
+
+
+class SlotSimulator:
+    """Drives one algorithm over one online request stream."""
+
+    def __init__(
+        self,
+        algorithm,
+        requests: list[Request],
+        num_slots: int,
+    ) -> None:
+        self.algorithm = algorithm
+        self.requests = sorted(requests)
+        self.num_slots = num_slots
+        for request in self.requests:
+            if request.arrival >= num_slots:
+                raise SimulationError(
+                    f"request {request.id} arrives at {request.arrival}, "
+                    f"beyond the {num_slots}-slot horizon"
+                )
+
+    def run(self) -> SimulationResult:
+        arrivals_by_slot: dict[int, list[Request]] = {}
+        departures_by_slot: dict[int, list[Request]] = {}
+        for request in self.requests:
+            arrivals_by_slot.setdefault(request.arrival, []).append(request)
+            if request.departure < self.num_slots:
+                departures_by_slot.setdefault(request.departure, []).append(
+                    request
+                )
+
+        decisions: list[Decision] = []
+        preemptions: list[tuple[Request, int]] = []
+        requested = np.zeros(self.num_slots)
+        allocated = np.zeros(self.num_slots)
+        resource_cost = np.zeros(self.num_slots)
+        runtime = 0.0
+        is_batch = hasattr(self.algorithm, "run_slot")
+
+        for t in range(self.num_slots):
+            arrivals = arrivals_by_slot.get(t, [])
+            requested[t] = sum(r.demand for r in arrivals)
+
+            start = time.perf_counter()
+            for request in departures_by_slot.get(t, []):
+                self.algorithm.release(request)
+            on_slot = getattr(self.algorithm, "on_slot", None)
+            if on_slot is not None:
+                on_slot(t)
+            if is_batch:
+                slot_result = self.algorithm.run_slot(t, arrivals)
+                decisions.extend(slot_result.decisions)
+                preemptions.extend((r, t) for r in slot_result.dropped)
+            else:
+                for request in arrivals:
+                    decision = self.algorithm.process(request)
+                    decisions.append(decision)
+                    preemptions.extend((r, t) for r in decision.preempted)
+            runtime += time.perf_counter() - start
+
+            allocated[t] = self.algorithm.active_demand()
+            resource_cost[t] = self.algorithm.active_cost_per_slot()
+
+        return SimulationResult(
+            algorithm_name=self.algorithm.name,
+            num_slots=self.num_slots,
+            decisions=decisions,
+            preemptions=preemptions,
+            requested_demand=requested,
+            allocated_demand=allocated,
+            resource_cost=resource_cost,
+            runtime_seconds=runtime,
+        )
+
+
+def simulate(algorithm, requests: list[Request], num_slots: int) -> SimulationResult:
+    """Convenience wrapper: build a :class:`SlotSimulator` and run it."""
+    return SlotSimulator(algorithm, requests, num_slots).run()

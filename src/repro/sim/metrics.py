@@ -1,0 +1,216 @@
+"""Evaluation metrics: rejection rate, cost (Eqs. 3–4), balance index
+(Eq. 20), demand time series, and the Fig. 12 per-node timeline.
+
+All request-level metrics take a measurement window ``(start, stop)`` over
+arrival slots — the paper reports requests that started between slots 100
+and 500 of the 600-slot online phase — and count preempted requests as
+rejections (they incur the rejection cost; Sec. III-C).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.apps.application import Application
+from repro.errors import SimulationError
+from repro.plan.pattern import Plan
+from repro.plan.rejection import rejection_factor
+from repro.sim.engine import SimulationResult
+from repro.substrate.network import NodeId, SubstrateNetwork
+from repro.workload.request import Request
+
+
+def _window(
+    result: SimulationResult, window: tuple[int, int] | None
+) -> tuple[int, int]:
+    if window is None:
+        return (0, result.num_slots)
+    start, stop = window
+    if not 0 <= start < stop <= result.num_slots:
+        raise SimulationError(f"invalid measurement window {window}")
+    return (start, stop)
+
+
+def _windowed_requests(
+    result: SimulationResult, window: tuple[int, int] | None
+):
+    start, stop = _window(result, window)
+    for decision in result.decisions:
+        if start <= decision.request.arrival < stop:
+            yield decision
+
+
+def rejection_rate(
+    result: SimulationResult, window: tuple[int, int] | None = None
+) -> float:
+    """Fraction of requests (arriving in the window) not served.
+
+    Rejected-at-arrival and preempted-after-acceptance both count: neither
+    request completed its activity period on the substrate.
+    """
+    total = 0
+    not_served = 0
+    for decision in _windowed_requests(result, window):
+        total += 1
+        if not decision.accepted or decision.request.id in result.preempted_ids:
+            not_served += 1
+    return not_served / total if total else 0.0
+
+
+@dataclass(frozen=True)
+class CostBreakdown:
+    """Total cost split into resource (Eq. 3) and rejection (Eq. 4) parts."""
+
+    resource: float
+    rejection: float
+
+    @property
+    def total(self) -> float:
+        return self.resource + self.rejection
+
+
+def cost_breakdown(
+    result: SimulationResult,
+    substrate: SubstrateNetwork,
+    apps: list[Application],
+    window: tuple[int, int] | None = None,
+) -> CostBreakdown:
+    """cost_S(x) + Ψ(x) for the run.
+
+    Resource cost sums per-slot loads over the window's slots; rejection
+    cost charges Ψ(r) = ψ_{a(r)}·d(r)·T(r) for every rejected or preempted
+    request arriving in the window (the paper's conservative ψ — the price
+    of the most expensive embedding — comes from
+    :func:`repro.plan.rejection.rejection_factor`).
+    """
+    start, stop = _window(result, window)
+    resource = float(result.resource_cost[start:stop].sum())
+    psi = {i: rejection_factor(app, substrate) for i, app in enumerate(apps)}
+    rejection = 0.0
+    for decision in _windowed_requests(result, window):
+        request = decision.request
+        if not decision.accepted or request.id in result.preempted_ids:
+            rejection += (
+                psi[request.app_index] * request.demand * request.duration
+            )
+    return CostBreakdown(resource=resource, rejection=rejection)
+
+
+def balance_index(
+    result: SimulationResult,
+    num_apps: int,
+    window: tuple[int, int] | None = None,
+) -> float:
+    """The paper's rejection balance index (Eq. 20).
+
+    A weighted Jain's index over ingress nodes: per node v the vector
+    (x_{v,1}, …, x_{v,|A|}) counts rejected requests of each application;
+    nodes are weighted by their request count n(v). A node with no
+    rejections is perfectly balanced (index 1) by convention — Jain's
+    formula is 0/0 there.
+    """
+    requests_at: dict[NodeId, int] = {}
+    rejected: dict[NodeId, np.ndarray] = {}
+    for decision in _windowed_requests(result, window):
+        request = decision.request
+        requests_at[request.ingress] = requests_at.get(request.ingress, 0) + 1
+        if not decision.accepted or request.id in result.preempted_ids:
+            if request.ingress not in rejected:
+                rejected[request.ingress] = np.zeros(num_apps)
+            rejected[request.ingress][request.app_index] += 1
+    total_requests = sum(requests_at.values())
+    if total_requests == 0:
+        return 1.0
+    weighted = 0.0
+    for node, count in requests_at.items():
+        x = rejected.get(node)
+        if x is None or x.sum() == 0:
+            jain = 1.0
+        else:
+            jain = float(x.sum() ** 2 / (num_apps * (x**2).sum()))
+        weighted += count * jain
+    return weighted / total_requests
+
+
+def demand_series(
+    result: SimulationResult, window: tuple[int, int] | None = None
+) -> dict[str, np.ndarray]:
+    """Requested vs allocated demand per slot (the Fig. 8 zoom data)."""
+    start, stop = _window(result, window)
+    return {
+        "slots": np.arange(start, stop),
+        "requested": result.requested_demand[start:stop].copy(),
+        "allocated": result.allocated_demand[start:stop].copy(),
+    }
+
+
+@dataclass
+class RequestTimelineEntry:
+    """One request's fate at a node, for the Fig. 12 style timeline."""
+
+    request: Request
+    status: str  # "guaranteed" | "borrowed" | "preempted" | "rejected"
+
+
+@dataclass
+class NodeTimeline:
+    """Per-application activity at one ingress node (Fig. 12).
+
+    ``guaranteed_demand`` is the plan's per-class guarantee at this node
+    (the horizontal dashed line of Fig. 12); ``entries`` classify each
+    request; ``active_demand`` gives per-slot totals per application.
+    """
+
+    node: NodeId
+    num_slots: int
+    guaranteed_demand: dict[int, float] = field(default_factory=dict)
+    entries: dict[int, list[RequestTimelineEntry]] = field(default_factory=dict)
+    active_demand: dict[int, np.ndarray] = field(default_factory=dict)
+
+    @classmethod
+    def collect(
+        cls,
+        result: SimulationResult,
+        plan: Plan,
+        node: NodeId,
+        num_apps: int,
+    ) -> "NodeTimeline":
+        timeline = cls(node=node, num_slots=result.num_slots)
+        for app_index in range(num_apps):
+            class_plan = plan.class_plan((app_index, node))
+            timeline.guaranteed_demand[app_index] = (
+                class_plan.guaranteed_demand() if class_plan else 0.0
+            )
+            timeline.entries[app_index] = []
+            timeline.active_demand[app_index] = np.zeros(result.num_slots)
+        for decision in result.decisions:
+            request = decision.request
+            if request.ingress != node:
+                continue
+            if not decision.accepted:
+                status = "rejected"
+            elif request.id in result.preempted_ids:
+                status = "preempted"
+            elif decision.planned:
+                status = "guaranteed"
+            else:
+                status = "borrowed"
+            timeline.entries[request.app_index].append(
+                RequestTimelineEntry(request=request, status=status)
+            )
+            if decision.accepted:
+                start = request.arrival
+                stop = min(request.departure, result.num_slots)
+                timeline.active_demand[request.app_index][start:stop] += (
+                    request.demand
+                )
+        return timeline
+
+    def counts(self, app_index: int) -> dict[str, int]:
+        """Status counts for one application at this node."""
+        counts: dict[str, int] = {}
+        for entry in self.entries.get(app_index, []):
+            counts[entry.status] = counts.get(entry.status, 0) + 1
+        return counts

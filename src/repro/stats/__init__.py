@@ -1,0 +1,30 @@
+"""Demand statistics: time aggregation and bootstrap percentile estimation.
+
+Implements Sec. III-A: the request history R_HIST is grouped into classes
+r̃_{a,v} by application and ingress; per-class demand time series d(r̃, t)
+are reduced to a single expected peak demand d(r̃) = P̂_α — the bootstrap
+estimate of the α-percentile of the series (the paper uses P̂_80 to avoid
+over-provisioning).
+"""
+
+from repro.stats.aggregate import (
+    AggregateRequest,
+    build_aggregate_demand,
+    class_demand_series,
+)
+from repro.stats.bootstrap import (
+    PercentileEstimate,
+    bootstrap_percentile,
+    demand_conforms,
+    ecdf,
+)
+
+__all__ = [
+    "AggregateRequest",
+    "class_demand_series",
+    "build_aggregate_demand",
+    "PercentileEstimate",
+    "bootstrap_percentile",
+    "ecdf",
+    "demand_conforms",
+]

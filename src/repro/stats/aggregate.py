@@ -1,0 +1,92 @@
+"""Time aggregation of request histories into PLAN-VNE inputs (Sec. III-A).
+
+Grouping: r̃_{a,v} = requests of application a arriving at ingress v
+(Eq. 5). Per-class demand series: d(r̃, t) = Σ d(r) over requests of the
+class active at slot t. Expected demand: d(r̃) = P̂_α of that series
+(Eq. 6), estimated by bootstrap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import WorkloadError
+from repro.stats.bootstrap import bootstrap_percentile
+from repro.utils.rng import child_rng
+from repro.workload.request import Request
+
+ClassKey = tuple[int, str]
+
+
+@dataclass(frozen=True)
+class AggregateRequest:
+    """One aggregated request class r̃_{a,v} with its expected demand d(r̃)."""
+
+    app_index: int
+    ingress: str
+    demand: float
+
+    @property
+    def class_key(self) -> ClassKey:
+        return (self.app_index, self.ingress)
+
+
+def class_demand_series(
+    requests: list[Request], num_slots: int
+) -> dict[ClassKey, np.ndarray]:
+    """Per-class active-demand time series d(r̃, t) over ``num_slots`` slots.
+
+    A request contributes its demand to every slot in [t(r), t(r)+T(r)).
+    Activity past the horizon is truncated at ``num_slots``.
+    """
+    if num_slots < 1:
+        raise WorkloadError("need at least one slot")
+    series: dict[ClassKey, np.ndarray] = {}
+    for request in requests:
+        key = request.class_key()
+        if key not in series:
+            series[key] = np.zeros(num_slots)
+        start = min(request.arrival, num_slots)
+        stop = min(request.departure, num_slots)
+        if start < stop:
+            series[key][start:stop] += request.demand
+    return series
+
+
+def build_aggregate_demand(
+    requests: list[Request],
+    num_slots: int,
+    alpha: float = 80.0,
+    num_resamples: int = 200,
+    rng: np.random.Generator | None = None,
+    min_demand: float = 1e-9,
+) -> list[AggregateRequest]:
+    """Aggregate a history into PLAN-VNE's input request set R̃.
+
+    Classes whose estimated demand is ≤ ``min_demand`` are dropped — they
+    contribute nothing to the plan and would only bloat the LP.
+
+    Results are sorted by class key so the LP layout is deterministic.
+    """
+    if rng is None:
+        rng = np.random.default_rng(0)
+    series = class_demand_series(requests, num_slots)
+    aggregates: list[AggregateRequest] = []
+    for key in sorted(series):
+        app_index, ingress = key
+        estimate = bootstrap_percentile(
+            series[key],
+            alpha=alpha,
+            num_resamples=num_resamples,
+            rng=child_rng(rng, "bootstrap", app_index, ingress),
+        )
+        if estimate.estimate > min_demand:
+            aggregates.append(
+                AggregateRequest(
+                    app_index=app_index, ingress=ingress,
+                    demand=estimate.estimate,
+                )
+            )
+    return aggregates

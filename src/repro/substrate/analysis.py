@@ -1,0 +1,119 @@
+"""Topology analysis utilities.
+
+Capacity, connectivity, and bottleneck views of a substrate — what an
+operator inspects before trusting a plan: how much aggregate capacity each
+tier contributes, how much uplink bandwidth each edge site has, which links
+are structural bottlenecks (high betweenness on min-cost paths), and the
+substrate's path diversity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import networkx as nx
+
+from repro.substrate.network import LinkId, NodeId, SubstrateNetwork
+from repro.substrate.tiers import Tier
+
+
+@dataclass
+class TierSummary:
+    """Aggregate capacity and cost view of one tier."""
+
+    tier: Tier
+    num_nodes: int
+    total_capacity: float
+    mean_cost: float
+
+
+@dataclass
+class TopologyReport:
+    """Full analysis output of :func:`analyze_topology`."""
+
+    name: str
+    tiers: dict[Tier, TierSummary] = field(default_factory=dict)
+    diameter_hops: int = 0
+    mean_edge_uplink_capacity: float = 0.0
+    bottleneck_links: list[tuple[LinkId, float]] = field(default_factory=list)
+    articulation_nodes: list[NodeId] = field(default_factory=list)
+
+    def oversubscription(self) -> float:
+        """Edge capacity / core capacity: how much fan-in the core absorbs."""
+        edge = self.tiers.get(Tier.EDGE)
+        core = self.tiers.get(Tier.CORE)
+        if edge is None or core is None or core.total_capacity == 0:
+            return 0.0
+        return edge.total_capacity / core.total_capacity
+
+
+def tier_summaries(substrate: SubstrateNetwork) -> dict[Tier, TierSummary]:
+    """Per-tier node counts, capacities, and mean costs."""
+    summaries: dict[Tier, TierSummary] = {}
+    for tier in Tier:
+        nodes = [
+            attrs for attrs in substrate.nodes.values() if attrs.tier == tier
+        ]
+        if not nodes:
+            continue
+        summaries[tier] = TierSummary(
+            tier=tier,
+            num_nodes=len(nodes),
+            total_capacity=sum(n.capacity for n in nodes),
+            mean_cost=sum(n.cost for n in nodes) / len(nodes),
+        )
+    return summaries
+
+
+def edge_uplink_capacity(substrate: SubstrateNetwork) -> dict[NodeId, float]:
+    """Total link capacity leaving each edge datacenter.
+
+    This bounds how much demand an ingress can push off-site — the binding
+    constraint for non-collocated embeddings under Zipf-skewed popularity.
+    """
+    return {
+        v: sum(substrate.link_capacity(link) for _, link in substrate.adjacency[v])
+        for v in substrate.edge_nodes
+    }
+
+
+def bottleneck_links(
+    substrate: SubstrateNetwork, top: int = 5
+) -> list[tuple[LinkId, float]]:
+    """Links with the highest betweenness per unit capacity.
+
+    A high value marks a link that many min-hop paths cross relative to the
+    bandwidth it offers — the first place congestion appears as utilization
+    rises.
+    """
+    graph = substrate.to_networkx()
+    betweenness = nx.edge_betweenness_centrality(graph)
+    scored = []
+    for (a, b), centrality in betweenness.items():
+        link = (a, b) if (a, b) in substrate.links else (b, a)
+        capacity = substrate.link_capacity(link)
+        scored.append((link, centrality / capacity if capacity else 0.0))
+    scored.sort(key=lambda pair: -pair[1])
+    return scored[:top]
+
+
+def articulation_nodes(substrate: SubstrateNetwork) -> list[NodeId]:
+    """Nodes whose failure disconnects the substrate (no path diversity)."""
+    graph = substrate.to_networkx()
+    return sorted(nx.articulation_points(graph))
+
+
+def analyze_topology(substrate: SubstrateNetwork, top: int = 5) -> TopologyReport:
+    """Run the full analysis suite on one substrate."""
+    graph = substrate.to_networkx()
+    uplinks = edge_uplink_capacity(substrate)
+    return TopologyReport(
+        name=substrate.name,
+        tiers=tier_summaries(substrate),
+        diameter_hops=nx.diameter(graph),
+        mean_edge_uplink_capacity=(
+            sum(uplinks.values()) / len(uplinks) if uplinks else 0.0
+        ),
+        bottleneck_links=bottleneck_links(substrate, top),
+        articulation_nodes=articulation_nodes(substrate),
+    )

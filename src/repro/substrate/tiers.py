@@ -1,0 +1,59 @@
+"""Datacenter tiers and their Table II parameters.
+
+The paper's evaluation uses three tiers — edge, transport, core — with a
+ratio of 3 between link capacities and datacenter capacities of successive
+tiers, and the mean per-capacity-unit node costs 50 / 10 / 1.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class Tier(enum.IntEnum):
+    """Datacenter tier, ordered edge-most first."""
+
+    EDGE = 0
+    TRANSPORT = 1
+    CORE = 2
+
+
+#: Node capacity per tier, in generic capacity units (CU) — Table II.
+TIER_NODE_CAPACITY: dict[Tier, float] = {
+    Tier.EDGE: 200_000.0,
+    Tier.TRANSPORT: 600_000.0,
+    Tier.CORE: 1_800_000.0,
+}
+
+#: Mean node cost per CU per tier — Table II. Actual node costs are drawn
+#: uniformly in [50%, 150%] of the tier mean.
+TIER_MEAN_NODE_COST: dict[Tier, float] = {
+    Tier.EDGE: 50.0,
+    Tier.TRANSPORT: 10.0,
+    Tier.CORE: 1.0,
+}
+
+#: Link capacity per tier, in CU — Table II. A link's tier is the
+#: edge-most tier among its endpoints.
+TIER_LINK_CAPACITY: dict[Tier, float] = {
+    Tier.EDGE: 100_000.0,
+    Tier.TRANSPORT: 300_000.0,
+    Tier.CORE: 900_000.0,
+}
+
+#: Link cost per CU is 1 for every tier — Table II.
+TIER_LINK_COST: dict[Tier, float] = {
+    Tier.EDGE: 1.0,
+    Tier.TRANSPORT: 1.0,
+    Tier.CORE: 1.0,
+}
+
+
+def link_tier(tier_a: Tier, tier_b: Tier) -> Tier:
+    """Tier of a link between datacenters of tiers ``tier_a``/``tier_b``.
+
+    A link inherits the edge-most (lowest) tier of its endpoints, so an
+    edge-to-transport link has edge-tier capacity, preserving the ×3
+    capacity ratio between successive tiers.
+    """
+    return Tier(min(tier_a, tier_b))

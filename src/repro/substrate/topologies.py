@@ -1,0 +1,327 @@
+"""Builders for the four evaluation topologies (Table II, Fig. 5).
+
+The paper uses Iris (Internet Topology Zoo), Citta Studi (mobile edge
+network), 5GEN (generated 5G deployment, Madrid) and 100N150E (connected
+Erdős–Rényi graph). The first three source graphs are not redistributable,
+so this module reconstructs them deterministically with the published
+node/link counts and the three-tier edge/transport/core structure the
+evaluation relies on (see DESIGN.md §2 for the substitution rationale).
+
+All builders are deterministic: the same call always returns the same
+substrate, including node costs (drawn uniformly in [50 %, 150 %] of the
+tier mean from a fixed-seed generator).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import numpy as np
+
+from repro.errors import TopologyError
+from repro.substrate.network import (
+    LinkAttrs,
+    LinkId,
+    NodeAttrs,
+    NodeId,
+    SubstrateNetwork,
+    link_id,
+)
+from repro.substrate.tiers import (
+    TIER_LINK_CAPACITY,
+    TIER_LINK_COST,
+    TIER_MEAN_NODE_COST,
+    TIER_NODE_CAPACITY,
+    Tier,
+    link_tier,
+)
+from repro.utils.rng import make_rng
+
+#: City names for Iris edge datacenters. 'Franklin' is referenced by the
+#: paper's Fig. 12 per-node allocation study.
+_IRIS_EDGE_NAMES = (
+    "Franklin", "Madison", "Arlington", "Georgetown", "Springfield",
+    "Clinton", "Salem", "Fairview", "Bristol", "Dover",
+    "Hudson", "Clayton", "Dayton", "Lebanon", "Milton",
+    "Newport", "Oxford", "Riverside", "Ashland", "Burlington",
+    "Chester", "Florence", "Greenville", "Jackson", "Kingston",
+    "Lexington", "Manchester", "Norwood", "Princeton", "Quincy",
+    "Richmond", "Troy", "Union", "Vernon",
+)
+
+
+def _node_attrs(tier: Tier, rng: np.random.Generator, gpu: bool = False) -> NodeAttrs:
+    """Draw one datacenter's attributes: tier capacity, U[0.5, 1.5]×mean cost."""
+    cost = TIER_MEAN_NODE_COST[tier] * rng.uniform(0.5, 1.5)
+    return NodeAttrs(tier=tier, capacity=TIER_NODE_CAPACITY[tier], cost=cost, gpu=gpu)
+
+
+def _link_attrs(tier_a: Tier, tier_b: Tier) -> LinkAttrs:
+    tier = link_tier(tier_a, tier_b)
+    return LinkAttrs(
+        tier=tier, capacity=TIER_LINK_CAPACITY[tier], cost=TIER_LINK_COST[tier]
+    )
+
+
+def make_tiered_topology(
+    name: str,
+    num_core: int,
+    num_transport: int,
+    num_edge: int,
+    num_links: int,
+    seed: int = 0,
+    edge_names: tuple[str, ...] | None = None,
+) -> SubstrateNetwork:
+    """Build a hierarchical three-tier topology with exact element counts.
+
+    Construction: a core ring, each transport node homed to one core node,
+    each edge node homed to one transport node (round-robin, so load is
+    spread), then extra redundancy links (transport↔transport,
+    edge↔secondary transport, transport↔secondary core) until ``num_links``
+    is reached.
+    """
+    base_links = (
+        (num_core if num_core > 2 else max(num_core - 1, 0))
+        + num_transport
+        + num_edge
+    )
+    if num_links < base_links:
+        raise TopologyError(
+            f"{name}: need at least {base_links} links for connectivity, "
+            f"got {num_links}"
+        )
+    rng = make_rng(seed)
+
+    core = [f"core-{i}" for i in range(num_core)]
+    transport = [f"transport-{i}" for i in range(num_transport)]
+    if edge_names is not None:
+        if len(edge_names) != num_edge:
+            raise TopologyError(
+                f"{name}: {num_edge} edge nodes but {len(edge_names)} names"
+            )
+        edge = list(edge_names)
+    else:
+        edge = [f"edge-{i}" for i in range(num_edge)]
+
+    nodes: dict[NodeId, NodeAttrs] = {}
+    for node in core:
+        nodes[node] = _node_attrs(Tier.CORE, rng)
+    for node in transport:
+        nodes[node] = _node_attrs(Tier.TRANSPORT, rng)
+    for node in edge:
+        nodes[node] = _node_attrs(Tier.EDGE, rng)
+
+    tier_of = {v: nodes[v].tier for v in nodes}
+    links: dict[LinkId, LinkAttrs] = {}
+
+    def add_link(a: NodeId, b: NodeId) -> bool:
+        key = link_id(a, b)
+        if a == b or key in links:
+            return False
+        links[key] = _link_attrs(tier_of[a], tier_of[b])
+        return True
+
+    # Core ring.
+    for i in range(len(core)):
+        if len(core) == 1:
+            break
+        if len(core) == 2 and i == 1:
+            break
+        add_link(core[i], core[(i + 1) % len(core)])
+    # Home each transport node to one core node (round-robin).
+    for i, node in enumerate(transport):
+        add_link(node, core[i % len(core)])
+    # Home each edge node to one transport node (round-robin).
+    for i, node in enumerate(edge):
+        add_link(node, transport[i % len(transport)])
+
+    # Redundancy links until the published link count is reached. Candidate
+    # pools are tried in order: transport mesh links, edge dual-homing,
+    # transport dual-homing to core.
+    candidates: list[tuple[NodeId, NodeId]] = []
+    for i in range(len(transport)):
+        candidates.append(
+            (transport[i], transport[(i + 1) % len(transport)])
+        )
+    for i, node in enumerate(edge):
+        candidates.append((node, transport[(i + 1) % len(transport)]))
+    for i, node in enumerate(transport):
+        candidates.append((node, core[(i + 1) % len(core)]))
+    rng.shuffle(candidates)
+    for a, b in candidates:
+        if len(links) >= num_links:
+            break
+        add_link(a, b)
+    if len(links) != num_links:
+        raise TopologyError(
+            f"{name}: exhausted candidate links at {len(links)}/{num_links}"
+        )
+
+    return SubstrateNetwork(name=name, nodes=nodes, links=links)
+
+
+def make_iris() -> SubstrateNetwork:
+    """Iris: 50 nodes, 64 links (Internet Topology Zoo scale).
+
+    Edge datacenters carry city names; 'Franklin' exists for the Fig. 12
+    per-node study.
+    """
+    return make_tiered_topology(
+        "Iris",
+        num_core=4,
+        num_transport=12,
+        num_edge=34,
+        num_links=64,
+        seed=11,
+        edge_names=_IRIS_EDGE_NAMES,
+    )
+
+
+def make_citta_studi() -> SubstrateNetwork:
+    """Citta Studi: 30 nodes, 35 links (mobile edge network scale)."""
+    return make_tiered_topology(
+        "CittaStudi", num_core=3, num_transport=7, num_edge=20,
+        num_links=35, seed=23,
+    )
+
+
+def make_5gen() -> SubstrateNetwork:
+    """5GEN: 78 nodes, 100 links (generated 5G deployment scale)."""
+    return make_tiered_topology(
+        "5GEN", num_core=6, num_transport=18, num_edge=54,
+        num_links=100, seed=37,
+    )
+
+
+def make_100n150e(seed: int = 47) -> SubstrateNetwork:
+    """100N150E: connected Erdős–Rényi graph, 100 nodes / 150 links.
+
+    Tiers are assigned by degree rank (highest-degree nodes become core),
+    mirroring how random-graph evaluations map hierarchy onto flat graphs.
+    """
+    rng = make_rng(seed)
+    num_nodes, num_links = 100, 150
+    for attempt in range(1000):
+        pairs = _random_gnm(num_nodes, num_links, rng)
+        if _connected(num_nodes, pairs):
+            break
+    else:  # pragma: no cover - probability of 1000 failures is negligible
+        raise TopologyError("failed to sample a connected G(100, 150)")
+
+    degree = [0] * num_nodes
+    for a, b in pairs:
+        degree[a] += 1
+        degree[b] += 1
+    order = sorted(range(num_nodes), key=lambda v: (-degree[v], v))
+    tier_by_index: dict[int, Tier] = {}
+    for rank, v in enumerate(order):
+        if rank < 8:
+            tier_by_index[v] = Tier.CORE
+        elif rank < 32:
+            tier_by_index[v] = Tier.TRANSPORT
+        else:
+            tier_by_index[v] = Tier.EDGE
+
+    nodes: dict[NodeId, NodeAttrs] = {}
+    for v in range(num_nodes):
+        nodes[f"n{v}"] = _node_attrs(tier_by_index[v], rng)
+    links: dict[LinkId, LinkAttrs] = {}
+    for a, b in pairs:
+        links[link_id(f"n{a}", f"n{b}")] = _link_attrs(
+            tier_by_index[a], tier_by_index[b]
+        )
+    return SubstrateNetwork(name="100N150E", nodes=nodes, links=links)
+
+
+def _random_gnm(
+    num_nodes: int, num_links: int, rng: np.random.Generator
+) -> set[tuple[int, int]]:
+    """Sample ``num_links`` distinct undirected pairs over ``num_nodes``."""
+    pairs: set[tuple[int, int]] = set()
+    while len(pairs) < num_links:
+        a, b = rng.integers(0, num_nodes, size=2)
+        if a == b:
+            continue
+        pairs.add((min(a, b), max(a, b)))
+    return pairs
+
+
+def _connected(num_nodes: int, pairs: set[tuple[int, int]]) -> bool:
+    adjacency: list[list[int]] = [[] for _ in range(num_nodes)]
+    for a, b in pairs:
+        adjacency[a].append(b)
+        adjacency[b].append(a)
+    seen = {0}
+    stack = [0]
+    while stack:
+        v = stack.pop()
+        for w in adjacency[v]:
+            if w not in seen:
+                seen.add(w)
+                stack.append(w)
+    return len(seen) == num_nodes
+
+
+def split_gpu_datacenters(
+    substrate: SubstrateNetwork,
+    num_edge_gpu: int = 4,
+    seed: int = 0,
+    non_gpu_capacity_factor: float = 0.75,
+) -> SubstrateNetwork:
+    """Split core nodes and ``num_edge_gpu`` random edge nodes for Fig. 10.
+
+    Each selected datacenter ``v`` is split into a non-GPU half (keeps the
+    name ``v``) and a GPU half (``v-gpu``) connected to ``v`` by an
+    intra-site link. Capacity is divided evenly; the non-GPU half is then
+    reduced by 25 % ("non-GPU datacenters were assigned capacity smaller by
+    25 %"). GPU halves only accept GPU VNFs (enforced by the efficiency
+    model, Sec. II-A).
+    """
+    if num_edge_gpu > len(substrate.edge_nodes):
+        raise TopologyError("more GPU edge splits than edge nodes")
+    rng = make_rng(seed)
+    edge_pick = sorted(
+        rng.choice(len(substrate.edge_nodes), size=num_edge_gpu, replace=False)
+    )
+    selected = set(substrate.core_nodes) | {
+        substrate.edge_nodes[i] for i in edge_pick
+    }
+
+    nodes = dict(substrate.nodes)
+    links = dict(substrate.links)
+    for v in selected:
+        attrs = nodes[v]
+        half = attrs.capacity / 2.0
+        nodes[v] = replace(
+            attrs, capacity=half * non_gpu_capacity_factor, gpu=False
+        )
+        twin = f"{v}-gpu"
+        nodes[twin] = replace(attrs, capacity=half, gpu=True)
+        links[link_id(v, twin)] = LinkAttrs(
+            tier=attrs.tier,
+            capacity=TIER_LINK_CAPACITY[attrs.tier],
+            cost=TIER_LINK_COST[attrs.tier],
+        )
+    return SubstrateNetwork(
+        name=f"{substrate.name}-gpu", nodes=nodes, links=links
+    )
+
+
+#: Registry used by experiments and benchmarks.
+TOPOLOGY_BUILDERS = {
+    "Iris": make_iris,
+    "CittaStudi": make_citta_studi,
+    "5GEN": make_5gen,
+    "100N150E": make_100n150e,
+}
+
+
+def make_topology(name: str) -> SubstrateNetwork:
+    """Build a registered topology by name."""
+    try:
+        builder = TOPOLOGY_BUILDERS[name]
+    except KeyError:
+        raise TopologyError(
+            f"unknown topology {name!r}; known: {sorted(TOPOLOGY_BUILDERS)}"
+        ) from None
+    return builder()

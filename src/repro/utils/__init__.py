@@ -1,0 +1,17 @@
+"""Shared low-level utilities: seeding and shortest-path helpers."""
+
+from repro.utils.rng import child_rng, make_rng, spawn_rngs
+from repro.utils.paths import (
+    capacity_constrained_dijkstra,
+    path_links,
+    path_cost,
+)
+
+__all__ = [
+    "make_rng",
+    "child_rng",
+    "spawn_rngs",
+    "capacity_constrained_dijkstra",
+    "path_links",
+    "path_cost",
+]

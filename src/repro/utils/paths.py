@@ -1,0 +1,85 @@
+"""Shortest-path helpers over substrate networks.
+
+These helpers operate on adjacency structures (``dict[node, list[(neighbor,
+link_key)]]``) rather than on networkx graphs directly, because the online
+algorithms call them in tight loops where networkx overhead dominates.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections.abc import Callable, Mapping, Sequence
+
+
+def capacity_constrained_dijkstra(
+    adjacency: Mapping[object, Sequence[tuple[object, object]]],
+    source: object,
+    link_weight: Callable[[object], float],
+    link_feasible: Callable[[object], bool],
+) -> tuple[dict, dict]:
+    """Single-source min-cost paths using only feasible links.
+
+    Parameters
+    ----------
+    adjacency:
+        Maps each node to ``(neighbor, link_key)`` pairs. ``link_key``
+        identifies the undirected substrate link.
+    source:
+        Start node.
+    link_weight:
+        Returns a non-negative traversal cost for a link key.
+    link_feasible:
+        Returns ``False`` for links that must not be traversed (e.g., with
+        insufficient residual capacity).
+
+    Returns
+    -------
+    (dist, parent):
+        ``dist[v]`` is the min cost from ``source``; ``parent[v]`` is the
+        ``(predecessor, link_key)`` pair on an optimal path. Unreachable
+        nodes are absent from both maps.
+    """
+    dist: dict = {source: 0.0}
+    parent: dict = {}
+    heap: list[tuple[float, int, object]] = [(0.0, 0, source)]
+    counter = 1  # tie-breaker so heap never compares node objects
+    visited: set = set()
+    while heap:
+        d, _, node = heapq.heappop(heap)
+        if node in visited:
+            continue
+        visited.add(node)
+        for neighbor, link in adjacency[node]:
+            if neighbor in visited or not link_feasible(link):
+                continue
+            candidate = d + link_weight(link)
+            if candidate < dist.get(neighbor, float("inf")):
+                dist[neighbor] = candidate
+                parent[neighbor] = (node, link)
+                heapq.heappush(heap, (candidate, counter, neighbor))
+                counter += 1
+    return dist, parent
+
+
+def path_links(parent: Mapping, source: object, target: object) -> list | None:
+    """Reconstruct the list of link keys from ``source`` to ``target``.
+
+    Returns ``None`` when ``target`` was not reached. The path for
+    ``target == source`` is the empty list.
+    """
+    if target == source:
+        return []
+    if target not in parent:
+        return None
+    links = []
+    node = target
+    while node != source:
+        node, link = parent[node]
+        links.append(link)
+    links.reverse()
+    return links
+
+
+def path_cost(links: Sequence, link_weight: Callable[[object], float]) -> float:
+    """Total traversal cost of a link sequence."""
+    return sum(link_weight(link) for link in links)

@@ -1,0 +1,38 @@
+"""Workload generation: requests, arrival processes, and traces.
+
+Implements the paper's experimental workload (Sec. IV-A, Table III):
+requests originate exclusively from edge datacenters with Zipf(α=1) node
+popularity, demands are N(10, 4²) (scaled to hit a target edge utilization),
+durations are exponential with mean 10 slots, and arrivals follow either a
+Markov-modulated Poisson process (bursty synthetic trace) or a CAIDA-like
+heavy-tailed source model.
+"""
+
+from repro.workload.request import Request
+from repro.workload.arrivals import MMPPProcess, PoissonProcess
+from repro.workload.popularity import zipf_weights, assign_node_popularity
+from repro.workload.trace import (
+    Trace,
+    TraceConfig,
+    demand_mean_for_utilization,
+    generate_caida_like_trace,
+    generate_mmpp_trace,
+    mean_application_footprint,
+)
+from repro.workload.diurnal import diurnal_rates, generate_diurnal_trace
+
+__all__ = [
+    "Request",
+    "MMPPProcess",
+    "PoissonProcess",
+    "zipf_weights",
+    "assign_node_popularity",
+    "Trace",
+    "TraceConfig",
+    "generate_mmpp_trace",
+    "generate_caida_like_trace",
+    "demand_mean_for_utilization",
+    "mean_application_footprint",
+    "diurnal_rates",
+    "generate_diurnal_trace",
+]

@@ -1,0 +1,77 @@
+"""Arrival processes: Poisson and Markov-modulated Poisson (MMPP).
+
+The MMPP has two states — high (λ_h) and low (λ_l) — with a symmetric
+per-slot switching probability. With symmetric switching the stationary
+distribution is (1/2, 1/2), so choosing λ_h = (1 + b)·λ and
+λ_l = (1 − b)·λ keeps the long-run mean at λ while producing the bursty
+arrivals the evaluation relies on ([34], [35]).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import WorkloadError
+
+
+@dataclass
+class PoissonProcess:
+    """Memoryless arrivals: count per slot ~ Poisson(rate)."""
+
+    rate: float
+
+    def __post_init__(self) -> None:
+        if self.rate < 0:
+            raise WorkloadError("Poisson rate must be non-negative")
+
+    def counts(self, num_slots: int, rng: np.random.Generator) -> np.ndarray:
+        """Arrival counts for ``num_slots`` consecutive slots."""
+        return rng.poisson(self.rate, size=num_slots)
+
+
+@dataclass
+class MMPPProcess:
+    """Two-state Markov-modulated Poisson process.
+
+    Attributes
+    ----------
+    mean_rate:
+        Long-run mean arrivals per slot (λ).
+    burstiness:
+        b ∈ [0, 1): λ_h = (1+b)λ, λ_l = (1−b)λ.
+    switch_probability:
+        Per-slot probability of toggling between the high and low states.
+    """
+
+    mean_rate: float
+    burstiness: float = 0.5
+    switch_probability: float = 0.1
+
+    def __post_init__(self) -> None:
+        if self.mean_rate < 0:
+            raise WorkloadError("MMPP mean rate must be non-negative")
+        if not 0 <= self.burstiness < 1:
+            raise WorkloadError("burstiness must be in [0, 1)")
+        if not 0 < self.switch_probability <= 1:
+            raise WorkloadError("switch probability must be in (0, 1]")
+
+    @property
+    def high_rate(self) -> float:
+        return self.mean_rate * (1.0 + self.burstiness)
+
+    @property
+    def low_rate(self) -> float:
+        return self.mean_rate * (1.0 - self.burstiness)
+
+    def rates(self, num_slots: int, rng: np.random.Generator) -> np.ndarray:
+        """Per-slot modulated rates, following the hidden Markov state."""
+        switches = rng.random(num_slots) < self.switch_probability
+        # state[t] toggles whenever switches[t] fires; start uniformly.
+        state = (int(rng.integers(0, 2)) + np.cumsum(switches)) % 2
+        return np.where(state == 1, self.high_rate, self.low_rate)
+
+    def counts(self, num_slots: int, rng: np.random.Generator) -> np.ndarray:
+        """Arrival counts per slot under the modulated rates."""
+        return rng.poisson(self.rates(num_slots, rng))

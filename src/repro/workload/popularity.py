@@ -1,0 +1,35 @@
+"""Zipf node popularity (Table III: node popularity ~ Zipf(α = 1)).
+
+Requests originate exclusively from edge datacenters; the share of traffic
+each edge datacenter generates follows a Zipf law over a random rank
+assignment.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import WorkloadError
+
+
+def zipf_weights(count: int, alpha: float = 1.0) -> np.ndarray:
+    """Normalized Zipf weights 1/rank^alpha for ranks 1..count."""
+    if count < 1:
+        raise WorkloadError("need at least one node for Zipf weights")
+    ranks = np.arange(1, count + 1, dtype=float)
+    weights = ranks ** (-alpha)
+    return weights / weights.sum()
+
+
+def assign_node_popularity(
+    nodes: list[str], rng: np.random.Generator, alpha: float = 1.0
+) -> dict[str, float]:
+    """Map each node to its traffic share under a random Zipf rank order.
+
+    The permutation (which node is most popular) is drawn from ``rng`` so
+    different executions explore different spatial skews, as in the paper's
+    30-repetition methodology.
+    """
+    weights = zipf_weights(len(nodes), alpha)
+    order = rng.permutation(len(nodes))
+    return {nodes[order[i]]: float(weights[i]) for i in range(len(nodes))}

@@ -1,0 +1,61 @@
+"""The online embedding request (Table I)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import WorkloadError
+
+
+@dataclass(frozen=True, order=True)
+class Request:
+    """One VN deployment request.
+
+    Ordering is by ``(arrival, id)`` so a sorted request list is a valid
+    ON-VNE processing order (distinct requests get distinct positions even
+    within one time slot, per Fig. 2).
+
+    Attributes
+    ----------
+    arrival:
+        Arrival time slot t(r).
+    id:
+        Unique, trace-wide identifier.
+    app_index:
+        Index of a(r) in the experiment's application list.
+    ingress:
+        Substrate node v(r) where the user θ resides.
+    demand:
+        Demand size d(r) > 0.
+    duration:
+        Active duration T(r) ≥ 1 slots; the request occupies slots
+        ``t(r) ≤ t < t(r) + T(r)``. Known to algorithms only at departure,
+        but carried on the object for simulator bookkeeping.
+    """
+
+    arrival: int
+    id: int
+    app_index: int
+    ingress: str
+    demand: float
+    duration: int
+
+    def __post_init__(self) -> None:
+        if self.demand <= 0:
+            raise WorkloadError(f"request {self.id}: demand must be positive")
+        if self.duration < 1:
+            raise WorkloadError(f"request {self.id}: duration must be >= 1")
+        if self.arrival < 0:
+            raise WorkloadError(f"request {self.id}: negative arrival time")
+
+    @property
+    def departure(self) -> int:
+        """First slot in which the request is no longer active."""
+        return self.arrival + self.duration
+
+    def active_at(self, t: int) -> bool:
+        return self.arrival <= t < self.departure
+
+    def class_key(self) -> tuple[int, str]:
+        """The (application, ingress) aggregation class of this request."""
+        return (self.app_index, self.ingress)

@@ -1,0 +1,94 @@
+"""Shared fixtures: hand-built tiny substrates and applications.
+
+The tiny fixtures are deliberately small enough that expected behaviour can
+be computed by hand in the tests; the session-scoped scenario fixture gives
+integration tests a realistic (but fast) end-to-end pipeline without
+rebuilding the plan per test.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.application import ROOT_ID, Application, VNF, VNFKind, VirtualLink
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.scenario import build_scenario
+from repro.substrate.network import LinkAttrs, NodeAttrs, SubstrateNetwork
+from repro.substrate.tiers import Tier
+from repro.utils.rng import make_rng
+
+
+def make_line_substrate(
+    node_capacity: float = 1000.0,
+    link_capacity: float = 500.0,
+) -> SubstrateNetwork:
+    """A 4-node line: edge-a — transport — core — edge-b.
+
+    Costs: edge 50, transport 10, core 1 per CU; links cost 1 per CU.
+    """
+    nodes = {
+        "edge-a": NodeAttrs(tier=Tier.EDGE, capacity=node_capacity, cost=50.0),
+        "transport": NodeAttrs(
+            tier=Tier.TRANSPORT, capacity=node_capacity * 3, cost=10.0
+        ),
+        "core": NodeAttrs(
+            tier=Tier.CORE, capacity=node_capacity * 9, cost=1.0
+        ),
+        "edge-b": NodeAttrs(tier=Tier.EDGE, capacity=node_capacity, cost=50.0),
+    }
+    links = {
+        ("edge-a", "transport"): LinkAttrs(
+            tier=Tier.EDGE, capacity=link_capacity, cost=1.0
+        ),
+        ("core", "transport"): LinkAttrs(
+            tier=Tier.TRANSPORT, capacity=link_capacity * 3, cost=1.0
+        ),
+        ("core", "edge-b"): LinkAttrs(
+            tier=Tier.EDGE, capacity=link_capacity, cost=1.0
+        ),
+    }
+    return SubstrateNetwork(name="line4", nodes=nodes, links=links)
+
+
+def make_two_vnf_chain(
+    node_size: float = 10.0, link_size: float = 5.0
+) -> Application:
+    """θ → v1 → v2 with fixed sizes (node β = 10, link β = 5)."""
+    return Application(
+        name="chain-fixed",
+        vnfs=(
+            VNF(ROOT_ID, 0.0, VNFKind.ROOT),
+            VNF(1, node_size),
+            VNF(2, node_size),
+        ),
+        links=(
+            VirtualLink(ROOT_ID, 1, link_size),
+            VirtualLink(1, 2, link_size),
+        ),
+    )
+
+
+@pytest.fixture
+def line_substrate() -> SubstrateNetwork:
+    return make_line_substrate()
+
+
+@pytest.fixture
+def chain_app() -> Application:
+    return make_two_vnf_chain()
+
+
+@pytest.fixture
+def rng():
+    return make_rng(1234)
+
+
+@pytest.fixture(scope="session")
+def test_config() -> ExperimentConfig:
+    return ExperimentConfig.test()
+
+
+@pytest.fixture(scope="session")
+def test_scenario(test_config):
+    """A shared small end-to-end scenario (CittaStudi, 120+24 slots)."""
+    return build_scenario(test_config, seed=1)

@@ -1,0 +1,193 @@
+"""Unit tests for repro.apps: the VN model, catalog, and efficiency rules."""
+
+import pytest
+
+from repro.apps.application import ROOT_ID, Application, VNF, VNFKind, VirtualLink
+from repro.apps.catalog import (
+    ACCELERATOR_SHRINK,
+    SIZE_FLOOR,
+    draw_standard_mix,
+    make_accelerator,
+    make_chain,
+    make_gpu_chain,
+    make_tree,
+    make_uniform_type_set,
+)
+from repro.apps.efficiency import GpuAwareEfficiency, UniformEfficiency
+from repro.errors import ApplicationError
+from repro.substrate.network import NodeAttrs
+from repro.substrate.tiers import Tier
+
+
+class TestApplicationModel:
+    def test_root_must_exist(self):
+        with pytest.raises(ApplicationError, match="missing root"):
+            Application(
+                name="x", vnfs=(VNF(1, 5.0),), links=()
+            )
+
+    def test_root_size_must_be_zero(self):
+        with pytest.raises(ApplicationError, match="size 0"):
+            VNF(ROOT_ID, 3.0, VNFKind.ROOT)
+
+    def test_node_zero_reserved_for_root(self):
+        with pytest.raises(ApplicationError, match="reserved"):
+            VNF(ROOT_ID, 5.0, VNFKind.GENERIC)
+
+    def test_duplicate_ids_rejected(self):
+        with pytest.raises(ApplicationError, match="duplicate"):
+            Application(
+                name="x",
+                vnfs=(VNF(0, 0.0, VNFKind.ROOT), VNF(1, 1.0), VNF(1, 2.0)),
+                links=(VirtualLink(0, 1, 1.0), VirtualLink(0, 1, 1.0)),
+            )
+
+    def test_wrong_link_count_rejected(self):
+        with pytest.raises(ApplicationError, match="needs"):
+            Application(
+                name="x",
+                vnfs=(VNF(0, 0.0, VNFKind.ROOT), VNF(1, 1.0)),
+                links=(),
+            )
+
+    def test_multiple_parents_rejected(self):
+        with pytest.raises(ApplicationError, match="multiple parents"):
+            Application(
+                name="x",
+                vnfs=(VNF(0, 0.0, VNFKind.ROOT), VNF(1, 1.0), VNF(2, 1.0)),
+                links=(
+                    VirtualLink(0, 1, 1.0),
+                    VirtualLink(0, 1, 2.0),
+                ),
+            )
+
+    def test_disconnected_tree_rejected(self):
+        with pytest.raises(ApplicationError, match="not connected"):
+            Application(
+                name="x",
+                vnfs=(
+                    VNF(0, 0.0, VNFKind.ROOT),
+                    VNF(1, 1.0),
+                    VNF(2, 1.0),
+                    VNF(3, 1.0),
+                ),
+                links=(
+                    VirtualLink(0, 1, 1.0),
+                    VirtualLink(2, 3, 1.0),
+                    VirtualLink(3, 2, 1.0),
+                ),
+            )
+
+    def test_negative_sizes_rejected(self):
+        with pytest.raises(ApplicationError):
+            VNF(1, -1.0)
+        with pytest.raises(ApplicationError):
+            VirtualLink(0, 1, -1.0)
+
+    def test_bfs_order_parents_first(self, chain_app):
+        order = chain_app.links_in_bfs_order()
+        assert [l.key for l in order] == [(0, 1), (1, 2)]
+
+    def test_aggregate_sizes(self, chain_app):
+        assert chain_app.total_node_size() == 20.0
+        assert chain_app.total_link_size() == 10.0
+        assert chain_app.root_adjacent_link_size() == 5.0
+        assert chain_app.num_vnfs == 2
+
+
+class TestCatalog:
+    def test_chain_structure(self, rng):
+        app = make_chain(rng, num_vnfs=4)
+        assert app.num_vnfs == 4
+        assert [l.key for l in app.links] == [(0, 1), (1, 2), (2, 3), (3, 4)]
+
+    def test_chain_requires_a_vnf(self, rng):
+        with pytest.raises(ApplicationError):
+            make_chain(rng, num_vnfs=0)
+
+    def test_tree_has_two_branches(self, rng):
+        app = make_tree(rng, num_vnfs=5)
+        # Node 1 is the stem and must have exactly two children.
+        assert len(app.children_links(1)) == 2
+        assert app.num_vnfs == 5
+
+    def test_tree_minimum_size(self, rng):
+        with pytest.raises(ApplicationError):
+            make_tree(rng, num_vnfs=2)
+
+    def test_accelerator_shrinks_downstream_link(self, rng):
+        for _ in range(10):
+            app = make_accelerator(rng, num_vnfs=4)
+            accel = [v for v in app.vnfs if v.kind is VNFKind.ACCELERATOR]
+            assert len(accel) == 1
+            downstream = [
+                l for l in app.links if l.tail == accel[0].id
+            ]
+            assert len(downstream) == 1
+            # A shrunk link can fall below the floor of un-shrunk sizes
+            # only via the 0.3 factor; verify it is plausibly shrunk by
+            # checking it against the maximum possible shrunk size.
+            assert downstream[0].size <= ACCELERATOR_SHRINK * 1000
+
+    def test_gpu_chain_has_one_gpu_vnf(self, rng):
+        app = make_gpu_chain(rng, num_vnfs=5)
+        gpu = [v for v in app.vnfs if v.kind is VNFKind.GPU]
+        assert len(gpu) == 1
+
+    def test_sizes_respect_floor(self, rng):
+        for _ in range(20):
+            app = make_chain(rng)
+            for vnf in app.non_root_vnfs():
+                assert vnf.size >= SIZE_FLOOR
+
+    def test_vnf_count_in_table_iii_range(self, rng):
+        counts = {make_chain(rng).num_vnfs for _ in range(50)}
+        assert counts <= {3, 4, 5}
+        assert len(counts) > 1  # actually random
+
+    def test_standard_mix_composition(self, rng):
+        mix = draw_standard_mix(rng)
+        assert len(mix) == 4
+        names = [app.name for app in mix]
+        assert sum("chain" in n for n in names) == 2
+        assert sum("tree" in n for n in names) == 1
+        assert sum("accelerator" in n for n in names) == 1
+
+    def test_uniform_type_set(self, rng):
+        apps = make_uniform_type_set(rng, "gpu", count=3)
+        assert len(apps) == 3
+        assert all(app.has_kind(VNFKind.GPU) for app in apps)
+
+    def test_uniform_type_set_unknown_type(self, rng):
+        with pytest.raises(ApplicationError, match="unknown application type"):
+            make_uniform_type_set(rng, "mesh")
+
+
+class TestEfficiency:
+    def test_uniform_is_one_everywhere(self, chain_app):
+        model = UniformEfficiency()
+        node = NodeAttrs(Tier.EDGE, 1.0, 1.0)
+        for vnf in chain_app.vnfs:
+            assert model.node_eta(vnf, node) == 1.0
+            assert model.placeable(vnf, node)
+
+    def test_gpu_vnf_needs_gpu_node(self):
+        model = GpuAwareEfficiency()
+        gpu_vnf = VNF(1, 5.0, VNFKind.GPU)
+        plain = NodeAttrs(Tier.EDGE, 1.0, 1.0, gpu=False)
+        gpu_node = NodeAttrs(Tier.EDGE, 1.0, 1.0, gpu=True)
+        assert model.node_eta(gpu_vnf, plain) is None
+        assert model.node_eta(gpu_vnf, gpu_node) == 1.0
+
+    def test_generic_vnf_banned_from_gpu_node(self):
+        model = GpuAwareEfficiency()
+        generic = VNF(1, 5.0, VNFKind.GENERIC)
+        gpu_node = NodeAttrs(Tier.EDGE, 1.0, 1.0, gpu=True)
+        assert model.node_eta(generic, gpu_node) is None
+        assert not model.placeable(generic, gpu_node)
+
+    def test_root_exempt_from_gpu_rules(self):
+        model = GpuAwareEfficiency()
+        root = VNF(ROOT_ID, 0.0, VNFKind.ROOT)
+        gpu_node = NodeAttrs(Tier.EDGE, 1.0, 1.0, gpu=True)
+        assert model.node_eta(root, gpu_node) == 1.0

@@ -1,0 +1,42 @@
+"""Tests for the command-line experiment runner (repro.experiments.__main__)."""
+
+import pytest
+
+from repro.experiments.__main__ import FIGURES, SCALES, main
+
+
+class TestCli:
+    def test_list_prints_all_figures(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in FIGURES:
+            assert name in out
+
+    def test_unknown_figure_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["fig99"])
+
+    def test_unknown_scale_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["fig6", "--scale", "galactic"])
+
+    def test_scales_cover_presets(self):
+        assert set(SCALES) == {"paper", "bench", "test"}
+
+    def test_fig12_requires_iris(self, capsys):
+        assert main(["fig12", "--topology", "CittaStudi", "--scale", "test"]) == 2
+        assert "Franklin" in capsys.readouterr().out
+
+    def test_fig12_runs_at_test_scale(self, capsys):
+        code = main(["fig12", "--topology", "Iris", "--scale", "test"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "guarantee" in out
+
+    def test_fig10_runs_at_test_scale(self, capsys):
+        code = main(
+            ["fig10", "--topology", "CittaStudi", "--scale", "test"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "rejection_rate" in out

@@ -1,0 +1,101 @@
+"""Flow decomposition on branching (tree) virtual networks."""
+
+import pytest
+
+from repro.apps.application import ROOT_ID, Application, VNF, VNFKind, VirtualLink
+from repro.plan.decompose import decompose_class
+
+
+@pytest.fixture
+def fork_app() -> Application:
+    """θ → v1, v1 → {v2, v3}: the two-branch tree of the catalog."""
+    return Application(
+        name="fork",
+        vnfs=(
+            VNF(ROOT_ID, 0.0, VNFKind.ROOT),
+            VNF(1, 10.0),
+            VNF(2, 10.0),
+            VNF(3, 10.0),
+        ),
+        links=(
+            VirtualLink(ROOT_ID, 1, 5.0),
+            VirtualLink(1, 2, 5.0),
+            VirtualLink(1, 3, 5.0),
+        ),
+    )
+
+
+class TestTreeDecomposition:
+    def test_branches_can_map_to_different_hosts(self, fork_app):
+        # v1 on transport; v2 stays with v1, v3 continues to core.
+        node_mass = {
+            ROOT_ID: {"edge-a": 1.0},
+            1: {"transport": 1.0},
+            2: {"transport": 1.0},
+            3: {"core": 1.0},
+        }
+        arc_flow = {
+            (0, 1): {("edge-a", "transport"): 1.0},
+            (1, 2): {},
+            (1, 3): {("transport", "core"): 1.0},
+        }
+        patterns, lost = decompose_class(
+            fork_app, "edge-a", node_mass, arc_flow
+        )
+        assert lost == pytest.approx(0.0, abs=1e-9)
+        assert len(patterns) == 1
+        pattern = patterns[0]
+        assert pattern.node_map == {
+            0: "edge-a", 1: "transport", 2: "transport", 3: "core"
+        }
+        assert pattern.link_paths[(1, 2)] == ()
+        assert pattern.link_paths[(1, 3)] == (("core", "transport"),)
+
+    def test_split_at_the_fork(self, fork_app):
+        # v1 split between transport (0.4) and edge-a (0.6); children
+        # follow their parent's placement.
+        node_mass = {
+            ROOT_ID: {"edge-a": 1.0},
+            1: {"transport": 0.4, "edge-a": 0.6},
+            2: {"transport": 0.4, "edge-a": 0.6},
+            3: {"transport": 0.4, "edge-a": 0.6},
+        }
+        arc_flow = {
+            (0, 1): {("edge-a", "transport"): 0.4},
+            (1, 2): {},
+            (1, 3): {},
+        }
+        patterns, lost = decompose_class(
+            fork_app, "edge-a", node_mass, arc_flow
+        )
+        assert lost == pytest.approx(0.0, abs=1e-9)
+        assert sum(p.weight for p in patterns) == pytest.approx(1.0)
+        hosts = {p.node_map[1] for p in patterns}
+        assert hosts == {"edge-a", "transport"}
+        for pattern in patterns:
+            # Children collocate with v1 in both patterns here.
+            assert pattern.node_map[2] == pattern.node_map[1]
+            assert pattern.node_map[3] == pattern.node_map[1]
+
+    def test_branch_split_below_the_fork(self, fork_app):
+        # v1 fully on transport, but v3 splits between transport and core.
+        node_mass = {
+            ROOT_ID: {"edge-a": 1.0},
+            1: {"transport": 1.0},
+            2: {"transport": 1.0},
+            3: {"transport": 0.5, "core": 0.5},
+        }
+        arc_flow = {
+            (0, 1): {("edge-a", "transport"): 1.0},
+            (1, 2): {},
+            (1, 3): {("transport", "core"): 0.5},
+        }
+        patterns, lost = decompose_class(
+            fork_app, "edge-a", node_mass, arc_flow
+        )
+        assert lost == pytest.approx(0.0, abs=1e-9)
+        assert len(patterns) == 2
+        v3_hosts = sorted(p.node_map[3] for p in patterns)
+        assert v3_hosts == ["core", "transport"]
+        for pattern in patterns:
+            assert pattern.weight == pytest.approx(0.5)

@@ -1,0 +1,77 @@
+"""Smoke tests for the per-figure experiment drivers at test scale.
+
+Each driver must return the structure the benchmarks consume. These use
+the smallest viable configurations — the paper-shape assertions live in
+``benchmarks/``; here we only verify plumbing.
+"""
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.figures import (
+    run_balance_quantiles,
+    run_caida,
+    run_demand_zoom,
+    run_rejection_vs_utilization,
+    run_runtime_scaling,
+    run_shifted_plan,
+    run_unexpected_demand,
+)
+
+
+@pytest.fixture(scope="module")
+def tiny_config():
+    return ExperimentConfig.test(
+        history_slots=80, online_slots=16, measure_start=2, measure_stop=14
+    )
+
+
+class TestSweepDrivers:
+    def test_rejection_vs_utilization_structure(self, tiny_config):
+        data = run_rejection_vs_utilization(
+            tiny_config, (0.8,), algorithms=("OLIVE", "QUICKG")
+        )
+        assert set(data) == {0.8}
+        summary = data[0.8]
+        assert "OLIVE:rejection_rate" in summary
+        assert "QUICKG:total_cost" in summary
+        assert summary["OLIVE:rejection_rate"].count == 1
+
+    def test_demand_zoom_series_alignment(self, tiny_config):
+        series = run_demand_zoom(
+            tiny_config, (2, 10), algorithms=("QUICKG",)
+        )
+        data = series["QUICKG"]
+        assert list(data["slots"]) == list(range(2, 10))
+        assert len(data["allocated"]) == 8
+
+    def test_balance_quantiles_keys(self, tiny_config):
+        summary = run_balance_quantiles(tiny_config, (1, 2))
+        assert set(summary) == {"QUICKG", "OLIVE:P=1", "OLIVE:P=2"}
+
+    def test_unexpected_demand_keys(self, tiny_config):
+        summary = run_unexpected_demand(
+            tiny_config, (0.5,), reference_algorithms=("OLIVE", "QUICKG")
+        )
+        assert set(summary) == {"OLIVE", "QUICKG", "OLIVE:plan=50%"}
+
+    def test_shifted_plan_structure(self, tiny_config):
+        data = run_shifted_plan(tiny_config, (1.0,))
+        assert "OLIVE:rejection_rate" in data[1.0]
+
+    def test_caida_uses_caida_trace(self, tiny_config):
+        data = run_caida(
+            tiny_config, (1.0,), algorithms=("QUICKG",)
+        )
+        assert "QUICKG:rejection_rate" in data[1.0]
+
+    def test_runtime_scaling_structure(self, tiny_config):
+        data = run_runtime_scaling(
+            tiny_config,
+            arrival_rates=(2.0,),
+            utilizations=(1.0,),
+            algorithms=("QUICKG",),
+        )
+        assert set(data) == {"by_rate", "by_utilization"}
+        assert 2.0 in data["by_rate"]
+        assert data["by_rate"][2.0]["QUICKG"].mean >= 0

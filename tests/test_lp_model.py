@@ -1,0 +1,165 @@
+"""Unit tests for the LP modeling layer (repro.lp.model)."""
+
+import math
+
+import pytest
+
+from repro.errors import InfeasibleError, LPError
+from repro.lp.model import ConstraintSense, LinearProgram
+from repro.lp.solver import solve_lp
+
+
+class TestVariables:
+    def test_indices_are_sequential(self):
+        lp = LinearProgram()
+        assert lp.add_variable("a") == 0
+        assert lp.add_variable("b") == 1
+        assert lp.num_variables == 2
+
+    def test_lookup_by_name(self):
+        lp = LinearProgram()
+        lp.add_variable("x")
+        index = lp.add_variable("y")
+        assert lp.variable_index("y") == index
+
+    def test_unknown_name_raises(self):
+        lp = LinearProgram()
+        with pytest.raises(LPError, match="unknown variable"):
+            lp.variable_index("missing")
+
+    def test_duplicate_name_raises(self):
+        lp = LinearProgram()
+        lp.add_variable("x")
+        with pytest.raises(LPError, match="duplicate"):
+            lp.add_variable("x")
+
+    def test_anonymous_variables_allowed(self):
+        lp = LinearProgram()
+        lp.add_variable()
+        lp.add_variable()
+        assert lp.num_variables == 2
+
+    def test_crossed_bounds_raise(self):
+        lp = LinearProgram()
+        with pytest.raises(LPError, match="lower bound"):
+            lp.add_variable("x", lower=2.0, upper=1.0)
+
+    def test_objective_accumulation(self):
+        lp = LinearProgram()
+        x = lp.add_variable("x", objective=1.0)
+        lp.add_objective(x, 2.0)
+        assert lp.objective_coefficient(x) == 3.0
+        lp.set_objective(x, 5.0)
+        assert lp.objective_coefficient(x) == 5.0
+
+
+class TestConstraints:
+    def test_unknown_variable_in_constraint_raises(self):
+        lp = LinearProgram()
+        lp.add_variable("x")
+        with pytest.raises(LPError, match="unknown variable"):
+            lp.add_constraint({5: 1.0}, ConstraintSense.LE, 1.0)
+
+    def test_repeated_terms_accumulate(self):
+        lp = LinearProgram()
+        x = lp.add_variable("x", upper=10.0, objective=-1.0)
+        lp.add_constraint([(x, 1.0), (x, 1.0)], ConstraintSense.LE, 4.0)
+        solution = solve_lp(lp)
+        assert solution.value(x) == pytest.approx(2.0)
+
+    def test_row_count(self):
+        lp = LinearProgram()
+        x = lp.add_variable("x")
+        lp.add_constraint({x: 1.0}, ConstraintSense.LE, 1.0)
+        lp.add_constraint({x: 1.0}, ConstraintSense.GE, 0.0)
+        assert lp.num_constraints == 2
+
+
+class TestSolve:
+    def test_simple_minimization(self):
+        # min x + 2y  s.t.  x + y >= 3, x, y in [0, 10]
+        lp = LinearProgram()
+        x = lp.add_variable("x", upper=10.0, objective=1.0)
+        y = lp.add_variable("y", upper=10.0, objective=2.0)
+        lp.add_constraint({x: 1.0, y: 1.0}, ConstraintSense.GE, 3.0)
+        solution = solve_lp(lp)
+        assert solution.objective == pytest.approx(3.0)
+        assert solution.value(x) == pytest.approx(3.0)
+        assert solution.value("y") == pytest.approx(0.0)
+
+    def test_equality_constraint(self):
+        lp = LinearProgram()
+        x = lp.add_variable("x", objective=1.0)
+        y = lp.add_variable("y", objective=1.0)
+        lp.add_constraint({x: 1.0, y: 2.0}, ConstraintSense.EQ, 4.0)
+        solution = solve_lp(lp)
+        # Cheapest way to satisfy x + 2y = 4 with unit costs: y = 2.
+        assert solution.objective == pytest.approx(2.0)
+        assert solution.value(y) == pytest.approx(2.0)
+
+    def test_infeasible_raises(self):
+        lp = LinearProgram("bad")
+        x = lp.add_variable("x", upper=1.0)
+        lp.add_constraint({x: 1.0}, ConstraintSense.GE, 2.0)
+        with pytest.raises(InfeasibleError):
+            solve_lp(lp)
+
+    def test_unbounded_raises(self):
+        lp = LinearProgram()
+        lp.add_variable("x", lower=-math.inf, upper=math.inf, objective=1.0)
+        with pytest.raises(LPError):
+            solve_lp(lp)
+
+    def test_empty_program(self):
+        solution = solve_lp(LinearProgram())
+        assert solution.objective == 0.0
+
+    def test_bounds_respected(self):
+        lp = LinearProgram()
+        x = lp.add_variable("x", lower=2.0, upper=5.0, objective=1.0)
+        solution = solve_lp(lp)
+        assert solution.value(x) == pytest.approx(2.0)
+
+    def test_transportation_problem(self):
+        # Two sources (capacity 5, 5), two sinks (demand 4, 6), unit costs.
+        lp = LinearProgram()
+        costs = {(0, 0): 1.0, (0, 1): 3.0, (1, 0): 2.0, (1, 1): 1.0}
+        flows = {
+            key: lp.add_variable(f"f{key}", objective=cost)
+            for key, cost in costs.items()
+        }
+        for source in (0, 1):
+            lp.add_constraint(
+                {flows[(source, 0)]: 1.0, flows[(source, 1)]: 1.0},
+                ConstraintSense.LE,
+                5.0,
+            )
+        for sink, demand in ((0, 4.0), (1, 6.0)):
+            lp.add_constraint(
+                {flows[(0, sink)]: 1.0, flows[(1, sink)]: 1.0},
+                ConstraintSense.EQ,
+                demand,
+            )
+        solution = solve_lp(lp)
+        # Optimal: s0→d0 4 @1, s1→d1 5 @1, s0→d1 1 @3 = 12.
+        assert solution.objective == pytest.approx(12.0)
+
+
+class TestCompile:
+    def test_ge_rows_are_flipped(self):
+        lp = LinearProgram()
+        x = lp.add_variable("x")
+        lp.add_constraint({x: 2.0}, ConstraintSense.GE, 4.0)
+        compiled = lp.compile()
+        data, rows, cols = compiled.ub_triplets
+        assert data == [-2.0]
+        assert compiled.ub_rhs.tolist() == [-4.0]
+
+    def test_eq_rows_kept_separate(self):
+        lp = LinearProgram()
+        x = lp.add_variable("x")
+        lp.add_constraint({x: 1.0}, ConstraintSense.EQ, 1.0)
+        lp.add_constraint({x: 1.0}, ConstraintSense.LE, 2.0)
+        compiled = lp.compile()
+        assert len(compiled.eq_rhs) == 1
+        assert len(compiled.ub_rhs) == 1

@@ -1,0 +1,148 @@
+"""Unit tests for repro.stats: aggregation and bootstrap percentiles."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.stats.aggregate import build_aggregate_demand, class_demand_series
+from repro.stats.bootstrap import (
+    bootstrap_percentile,
+    demand_conforms,
+    ecdf,
+)
+from repro.utils.rng import make_rng
+from repro.workload.request import Request
+
+
+def _request(arrival, duration, demand=2.0, app=0, node="a", id=None):
+    return Request(
+        arrival=arrival,
+        id=id if id is not None else arrival * 1000 + duration,
+        app_index=app,
+        ingress=node,
+        demand=demand,
+        duration=duration,
+    )
+
+
+class TestClassDemandSeries:
+    def test_single_request_activity_window(self):
+        series = class_demand_series([_request(2, 3, demand=5.0)], 10)
+        expected = np.zeros(10)
+        expected[2:5] = 5.0
+        assert np.array_equal(series[(0, "a")], expected)
+
+    def test_overlapping_requests_accumulate(self):
+        series = class_demand_series(
+            [_request(0, 4, demand=1.0, id=1), _request(2, 4, demand=2.0, id=2)],
+            8,
+        )
+        values = series[(0, "a")]
+        assert values[1] == 1.0
+        assert values[3] == 3.0
+        assert values[6] == 0.0
+
+    def test_activity_truncated_at_horizon(self):
+        series = class_demand_series([_request(8, 100, demand=1.0)], 10)
+        assert series[(0, "a")].sum() == 2.0  # slots 8, 9 only
+
+    def test_classes_are_separated(self):
+        series = class_demand_series(
+            [
+                _request(0, 2, app=0, node="a", id=1),
+                _request(0, 2, app=1, node="a", id=2),
+                _request(0, 2, app=0, node="b", id=3),
+            ],
+            4,
+        )
+        assert set(series) == {(0, "a"), (1, "a"), (0, "b")}
+
+    def test_zero_slots_rejected(self):
+        with pytest.raises(WorkloadError):
+            class_demand_series([], 0)
+
+
+class TestBootstrap:
+    def test_estimate_close_to_true_percentile(self):
+        rng = make_rng(3)
+        series = rng.normal(100.0, 10.0, size=2000)
+        estimate = bootstrap_percentile(series, alpha=80.0, rng=make_rng(4))
+        true = np.percentile(series, 80)
+        assert estimate.estimate == pytest.approx(true, rel=0.02)
+        assert estimate.ci_low <= true <= estimate.ci_high
+
+    def test_ci_ordering(self):
+        estimate = bootstrap_percentile(
+            np.arange(100.0), alpha=50.0, rng=make_rng(0)
+        )
+        assert estimate.ci_low <= estimate.estimate <= estimate.ci_high
+
+    def test_constant_series_degenerate_ci(self):
+        estimate = bootstrap_percentile(np.full(50, 7.0), rng=make_rng(0))
+        assert estimate.estimate == 7.0
+        assert estimate.ci_low == estimate.ci_high == 7.0
+        assert estimate.contains(7.0)
+        assert not estimate.contains(8.0)
+
+    @pytest.mark.parametrize("alpha", [0.0, -5.0, 101.0])
+    def test_alpha_validation(self, alpha):
+        with pytest.raises(WorkloadError):
+            bootstrap_percentile(np.ones(10), alpha=alpha)
+
+    def test_empty_series_rejected(self):
+        with pytest.raises(WorkloadError):
+            bootstrap_percentile(np.array([]))
+
+    def test_ecdf(self):
+        values, probs = ecdf(np.array([3.0, 1.0, 2.0]))
+        assert values.tolist() == [1.0, 2.0, 3.0]
+        assert probs.tolist() == pytest.approx([1 / 3, 2 / 3, 1.0])
+
+    def test_conformance_same_distribution(self):
+        rng = make_rng(9)
+        history = rng.normal(50, 5, size=3000)
+        online = rng.normal(50, 5, size=3000)
+        assert demand_conforms(online, history, rng=make_rng(1))
+
+    def test_conformance_rejects_shifted_distribution(self):
+        rng = make_rng(9)
+        history = rng.normal(50, 5, size=3000)
+        online = rng.normal(80, 5, size=3000)
+        assert not demand_conforms(online, history, rng=make_rng(1))
+
+
+class TestBuildAggregateDemand:
+    def test_aggregate_demand_matches_percentile(self):
+        # Constant load of 6.0 (3 overlapping requests of demand 2).
+        requests = [
+            _request(0, 50, id=1),
+            _request(0, 50, id=2),
+            _request(0, 50, id=3),
+        ]
+        aggregates = build_aggregate_demand(requests, 50, rng=make_rng(0))
+        assert len(aggregates) == 1
+        assert aggregates[0].demand == pytest.approx(6.0)
+        assert aggregates[0].class_key == (0, "a")
+
+    def test_negligible_classes_dropped(self):
+        # One request active for 1 of 1000 slots: P80 of the series is 0.
+        aggregates = build_aggregate_demand(
+            [_request(0, 1, demand=1.0)], 1000, rng=make_rng(0)
+        )
+        assert aggregates == []
+
+    def test_deterministic_given_rng_seed(self):
+        requests = [_request(i, 5, id=i) for i in range(20)]
+        a = build_aggregate_demand(requests, 30, rng=make_rng(5))
+        b = build_aggregate_demand(requests, 30, rng=make_rng(5))
+        assert a == b
+
+    def test_sorted_by_class_key(self):
+        requests = [
+            _request(0, 10, app=1, node="b", id=1),
+            _request(0, 10, app=0, node="z", id=2),
+            _request(0, 10, app=0, node="a", id=3),
+        ]
+        aggregates = build_aggregate_demand(requests, 10, rng=make_rng(0))
+        keys = [a.class_key for a in aggregates]
+        assert keys == sorted(keys)

@@ -1,0 +1,98 @@
+"""Unit tests for repro.utils: seeding discipline and path helpers."""
+
+import numpy as np
+import pytest
+
+from repro.utils.paths import capacity_constrained_dijkstra, path_cost, path_links
+from repro.utils.rng import child_rng, make_rng, spawn_rngs
+
+
+class TestRng:
+    def test_same_seed_same_stream(self):
+        a = make_rng(7).random(5)
+        b = make_rng(7).random(5)
+        assert np.array_equal(a, b)
+
+    def test_child_streams_are_reproducible(self):
+        a = child_rng(make_rng(7), "arrivals", 3).random(5)
+        b = child_rng(make_rng(7), "arrivals", 3).random(5)
+        assert np.array_equal(a, b)
+
+    def test_child_streams_differ_by_key(self):
+        root = make_rng(7)
+        a = child_rng(root, "arrivals").random(5)
+        b = child_rng(root, "departures").random(5)
+        assert not np.array_equal(a, b)
+
+    def test_child_independent_of_parent_consumption(self):
+        root = make_rng(7)
+        before = child_rng(root, "x").random(3)
+        root.random(100)  # consume the parent stream
+        after = child_rng(root, "x").random(3)
+        assert np.array_equal(before, after)
+
+    def test_spawn_rngs_count_and_independence(self):
+        children = spawn_rngs(make_rng(0), 3)
+        assert len(children) == 3
+        draws = [c.random(4).tolist() for c in children]
+        assert draws[0] != draws[1] != draws[2]
+
+
+def _square_adjacency():
+    """4-cycle a-b-c-d with a diagonal a-c."""
+    links = {
+        ("a", "b"): 1.0,
+        ("b", "c"): 1.0,
+        ("c", "d"): 1.0,
+        ("a", "d"): 1.0,
+        ("a", "c"): 5.0,
+    }
+    adjacency = {n: [] for n in "abcd"}
+    for (u, v) in links:
+        adjacency[u].append((v, (u, v)))
+        adjacency[v].append((u, (u, v)))
+    return adjacency, links
+
+
+class TestDijkstra:
+    def test_shortest_path_costs(self):
+        adjacency, weights = _square_adjacency()
+        dist, parent = capacity_constrained_dijkstra(
+            adjacency, "a", lambda l: weights[l], lambda l: True
+        )
+        assert dist["c"] == pytest.approx(2.0)  # a-b-c beats the 5.0 diagonal
+        assert dist["d"] == pytest.approx(1.0)
+
+    def test_path_reconstruction(self):
+        adjacency, weights = _square_adjacency()
+        _, parent = capacity_constrained_dijkstra(
+            adjacency, "a", lambda l: weights[l], lambda l: True
+        )
+        links = path_links(parent, "a", "c")
+        assert links == [("a", "b"), ("b", "c")]
+        assert path_cost(links, lambda l: weights[l]) == pytest.approx(2.0)
+
+    def test_infeasible_links_excluded(self):
+        adjacency, weights = _square_adjacency()
+        # Forbid both cheap two-hop routes: only the diagonal remains.
+        banned = {("a", "b"), ("a", "d")}
+        dist, parent = capacity_constrained_dijkstra(
+            adjacency, "a", lambda l: weights[l], lambda l: l not in banned
+        )
+        assert dist["c"] == pytest.approx(5.0)
+        assert path_links(parent, "a", "c") == [("a", "c")]
+
+    def test_unreachable_node_absent(self):
+        adjacency, weights = _square_adjacency()
+        dist, parent = capacity_constrained_dijkstra(
+            adjacency, "a", lambda l: weights[l], lambda l: False
+        )
+        assert dist == {"a": 0.0}
+        assert path_links(parent, "a", "c") is None
+
+    def test_source_path_is_empty(self):
+        adjacency, weights = _square_adjacency()
+        _, parent = capacity_constrained_dijkstra(
+            adjacency, "a", lambda l: weights[l], lambda l: True
+        )
+        assert path_links(parent, "a", "a") == []

@@ -1,0 +1,226 @@
+"""Unit tests for repro.workload: requests, arrivals, popularity, traces."""
+
+import numpy as np
+import pytest
+
+from repro.apps.catalog import make_chain
+from repro.errors import WorkloadError
+from repro.utils.rng import make_rng
+from repro.workload.arrivals import MMPPProcess, PoissonProcess
+from repro.workload.popularity import assign_node_popularity, zipf_weights
+from repro.workload.request import Request
+from repro.workload.trace import (
+    TraceConfig,
+    demand_mean_for_utilization,
+    generate_caida_like_trace,
+    generate_mmpp_trace,
+    mean_application_footprint,
+)
+
+
+class TestRequest:
+    def test_activity_interval_is_half_open(self):
+        request = Request(
+            arrival=5, id=1, app_index=0, ingress="a", demand=1.0, duration=3
+        )
+        assert request.departure == 8
+        assert request.active_at(5)
+        assert request.active_at(7)
+        assert not request.active_at(8)
+        assert not request.active_at(4)
+
+    def test_ordering_is_by_arrival_then_id(self):
+        early = Request(arrival=1, id=9, app_index=0, ingress="a", demand=1, duration=1)
+        late = Request(arrival=2, id=1, app_index=0, ingress="a", demand=1, duration=1)
+        tie = Request(arrival=1, id=10, app_index=0, ingress="a", demand=1, duration=1)
+        assert sorted([late, tie, early]) == [early, tie, late]
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(demand=0.0),
+            dict(demand=-1.0),
+            dict(duration=0),
+            dict(arrival=-1),
+        ],
+    )
+    def test_validation(self, kwargs):
+        base = dict(
+            arrival=0, id=1, app_index=0, ingress="a", demand=1.0, duration=1
+        )
+        base.update(kwargs)
+        with pytest.raises(WorkloadError):
+            Request(**base)
+
+    def test_class_key(self):
+        request = Request(
+            arrival=0, id=1, app_index=2, ingress="edge-7", demand=1, duration=1
+        )
+        assert request.class_key() == (2, "edge-7")
+
+
+class TestArrivalProcesses:
+    def test_poisson_mean(self, rng):
+        counts = PoissonProcess(rate=10.0).counts(5000, rng)
+        assert counts.mean() == pytest.approx(10.0, rel=0.05)
+
+    def test_poisson_rejects_negative_rate(self):
+        with pytest.raises(WorkloadError):
+            PoissonProcess(rate=-1.0)
+
+    def test_mmpp_long_run_mean(self, rng):
+        process = MMPPProcess(mean_rate=10.0, burstiness=0.5)
+        counts = process.counts(20000, rng)
+        assert counts.mean() == pytest.approx(10.0, rel=0.1)
+
+    def test_mmpp_rates_alternate_between_two_levels(self, rng):
+        process = MMPPProcess(mean_rate=10.0, burstiness=0.5)
+        rates = process.rates(1000, rng)
+        assert set(np.unique(rates)) == {5.0, 15.0}
+
+    def test_mmpp_is_overdispersed_relative_to_poisson(self, rng):
+        # Burstiness should push variance well above the Poisson variance.
+        process = MMPPProcess(
+            mean_rate=20.0, burstiness=0.8, switch_probability=0.05
+        )
+        counts = process.counts(20000, rng)
+        assert counts.var() > 1.5 * counts.mean()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(mean_rate=-1.0),
+            dict(mean_rate=1.0, burstiness=1.0),
+            dict(mean_rate=1.0, burstiness=-0.1),
+            dict(mean_rate=1.0, switch_probability=0.0),
+        ],
+    )
+    def test_mmpp_validation(self, kwargs):
+        with pytest.raises(WorkloadError):
+            MMPPProcess(**kwargs)
+
+
+class TestPopularity:
+    def test_zipf_weights_normalized_and_decreasing(self):
+        weights = zipf_weights(10, alpha=1.0)
+        assert weights.sum() == pytest.approx(1.0)
+        assert all(weights[i] >= weights[i + 1] for i in range(9))
+        assert weights[0] / weights[9] == pytest.approx(10.0)
+
+    def test_zipf_rejects_empty(self):
+        with pytest.raises(WorkloadError):
+            zipf_weights(0)
+
+    def test_assignment_covers_all_nodes(self, rng):
+        nodes = [f"n{i}" for i in range(7)]
+        popularity = assign_node_popularity(nodes, rng)
+        assert set(popularity) == set(nodes)
+        assert sum(popularity.values()) == pytest.approx(1.0)
+
+    def test_assignment_permutation_depends_on_rng(self):
+        nodes = [f"n{i}" for i in range(20)]
+        a = assign_node_popularity(nodes, make_rng(1))
+        b = assign_node_popularity(nodes, make_rng(2))
+        assert a != b
+
+
+class TestTrace:
+    def _config(self, **overrides):
+        defaults = dict(history_slots=50, online_slots=20, arrivals_per_node=2.0)
+        defaults.update(overrides)
+        return TraceConfig(**defaults)
+
+    def test_split_rebases_online_arrivals(self, line_substrate, rng):
+        apps = [make_chain(rng, num_vnfs=3)]
+        trace = generate_mmpp_trace(line_substrate, apps, self._config(), rng)
+        for request in trace.online_requests():
+            assert 0 <= request.arrival < 20
+        for request in trace.history_requests():
+            assert request.arrival < 50
+
+    def test_split_preserves_request_count(self, line_substrate, rng):
+        apps = [make_chain(rng, num_vnfs=3)]
+        trace = generate_mmpp_trace(line_substrate, apps, self._config(), rng)
+        assert (
+            len(trace.history_requests()) + len(trace.online_requests())
+            == trace.num_requests
+        )
+
+    def test_ingress_only_from_edge_nodes(self, line_substrate, rng):
+        apps = [make_chain(rng, num_vnfs=3)]
+        trace = generate_mmpp_trace(line_substrate, apps, self._config(), rng)
+        edge = set(line_substrate.edge_nodes)
+        assert all(r.ingress in edge for r in trace.requests)
+
+    def test_demands_positive_durations_at_least_one(self, line_substrate, rng):
+        apps = [make_chain(rng, num_vnfs=3)]
+        trace = generate_mmpp_trace(line_substrate, apps, self._config(), rng)
+        assert all(r.demand > 0 for r in trace.requests)
+        assert all(r.duration >= 1 for r in trace.requests)
+
+    def test_trace_is_deterministic_per_seed(self, line_substrate):
+        apps = [make_chain(make_rng(0), num_vnfs=3)]
+        a = generate_mmpp_trace(line_substrate, apps, self._config(), make_rng(5))
+        b = generate_mmpp_trace(line_substrate, apps, self._config(), make_rng(5))
+        assert a.requests == b.requests
+
+    def test_caida_trace_basic_properties(self, line_substrate, rng):
+        apps = [make_chain(rng, num_vnfs=3)]
+        trace = generate_caida_like_trace(
+            line_substrate, apps, self._config(), rng
+        )
+        assert trace.num_requests > 0
+        edge = set(line_substrate.edge_nodes)
+        assert all(r.ingress in edge for r in trace.requests)
+
+    def test_trace_config_validation(self):
+        with pytest.raises(WorkloadError):
+            TraceConfig(history_slots=0)
+        with pytest.raises(WorkloadError):
+            TraceConfig(demand_mean=0.0)
+
+
+class TestUtilizationCalibration:
+    def test_footprint_is_mean_of_node_sizes(self, rng):
+        apps = [make_chain(rng, num_vnfs=3), make_chain(rng, num_vnfs=4)]
+        expected = np.mean([a.total_node_size() for a in apps])
+        assert mean_application_footprint(apps) == pytest.approx(expected)
+
+    def test_demand_mean_scales_linearly_with_utilization(
+        self, line_substrate, rng
+    ):
+        apps = [make_chain(rng, num_vnfs=3)]
+        d60 = demand_mean_for_utilization(0.6, line_substrate, apps)
+        d120 = demand_mean_for_utilization(1.2, line_substrate, apps)
+        assert d120 == pytest.approx(2 * d60)
+
+    def test_calibration_closes_the_loop(self, line_substrate, rng):
+        """Generated load should land near the requested utilization."""
+        apps = [make_chain(rng, num_vnfs=3)]
+        target = 1.0
+        demand_mean = demand_mean_for_utilization(
+            target, line_substrate, apps, arrivals_per_node=5.0
+        )
+        config = TraceConfig(
+            history_slots=400,
+            online_slots=10,
+            arrivals_per_node=5.0,
+            demand_mean=demand_mean,
+            demand_std=0.0001,
+        )
+        trace = generate_mmpp_trace(line_substrate, apps, config, rng)
+        # Mean active node-footprint over steady-state slots vs edge capacity.
+        series = np.zeros(400)
+        footprint = apps[0].total_node_size()
+        for request in trace.history_requests():
+            stop = min(request.departure, 400)
+            series[request.arrival:stop] += request.demand * footprint
+        observed = series[50:].mean() / line_substrate.total_edge_capacity()
+        assert observed == pytest.approx(target, rel=0.15)
+
+    def test_rejects_bad_inputs(self, line_substrate, rng):
+        apps = [make_chain(rng, num_vnfs=3)]
+        with pytest.raises(WorkloadError):
+            demand_mean_for_utilization(0.0, line_substrate, apps)
+        with pytest.raises(WorkloadError):
+            mean_application_footprint([])
