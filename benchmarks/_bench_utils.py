@@ -10,6 +10,10 @@ Scaling knobs (environment):
 
 * ``REPRO_BENCH_FAST=1`` — fewer repetitions/utilizations; SLOTOFF only on
   the smallest topology. Use for quick sanity runs.
+* ``REPRO_BENCH_JOBS=N`` — fan each configuration's seeded repetitions out
+  over N worker processes (0 = one per CPU). Results are bit-identical to
+  the serial run (measured ``runtime`` metrics excepted — they are real
+  timings); only wall-clock changes.
 """
 
 from __future__ import annotations
@@ -18,8 +22,12 @@ import os
 from pathlib import Path
 
 from repro.experiments.config import ExperimentConfig
+from repro.sim.runner import ParallelRunner
 
 FAST = os.environ.get("REPRO_BENCH_FAST") == "1"
+
+#: Worker processes per repeated configuration (see module docstring).
+JOBS = int(os.environ.get("REPRO_BENCH_JOBS", "1"))
 
 #: Utilization sweep points for the Fig. 6/7/14/15/16 benchmarks.
 UTILIZATIONS = (0.6, 1.4) if FAST else (0.6, 1.0, 1.4)
@@ -39,6 +47,11 @@ def bench_config(**overrides) -> ExperimentConfig:
     if FAST:
         overrides.setdefault("repetitions", 1)
     return ExperimentConfig.bench(**overrides)
+
+
+def bench_runner() -> ParallelRunner:
+    """The repetition runner for benchmarks, honoring REPRO_BENCH_JOBS."""
+    return ParallelRunner.from_jobs(JOBS)
 
 
 def record(name: str, lines: list[str]) -> None:

@@ -2,10 +2,30 @@
 
 from __future__ import annotations
 
+from pathlib import Path
+
 import pytest
 
-from _bench_utils import FAST, SLOTOFF_TOPOLOGIES, UTILIZATIONS, bench_config
+from _bench_utils import (
+    FAST,
+    SLOTOFF_TOPOLOGIES,
+    UTILIZATIONS,
+    bench_config,
+    bench_runner,
+)
 from repro.experiments.figures import run_rejection_vs_utilization
+
+
+def pytest_collection_modifyitems(items):
+    """Every benchmark is slow: excluded from ``-m "not slow"`` runs.
+
+    The hook sees the whole session's items, so restrict to this
+    directory — tests elsewhere manage their own markers.
+    """
+    here = Path(__file__).parent
+    for item in items:
+        if here in Path(str(item.fspath)).parents:
+            item.add_marker(pytest.mark.slow)
 
 
 @pytest.fixture(scope="session")
@@ -30,7 +50,7 @@ def utilization_sweep():
                 repetitions=1 if (topology in SLOTOFF_TOPOLOGIES or FAST) else 2,
             )
             cache[topology] = run_rejection_vs_utilization(
-                config, UTILIZATIONS, algorithms
+                config, UTILIZATIONS, algorithms, runner=bench_runner()
             )
         return cache[topology]
 

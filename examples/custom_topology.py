@@ -7,8 +7,10 @@ energy-aware (in)efficiency model (η^q_s > 1 on power-constrained sites),
 a synthetic history, a PLAN-VNE plan, and the OLIVE loop — no experiment
 config involved.
 
-Run:  python examples/custom_topology.py
+Run:  python examples/custom_topology.py [--seed N]
 """
+
+import argparse
 
 from repro import (
     OliveAlgorithm,
@@ -90,11 +92,11 @@ def synthetic_history(rng, num_slots: int) -> list[Request]:
     return requests
 
 
-def main() -> None:
+def main(seed: int = 2024) -> None:
     substrate = build_metro_network()
     app = build_ar_application()
     efficiency = EnergyAwareEfficiency()
-    rng = make_rng(2024)
+    rng = make_rng(seed)
 
     history = synthetic_history(rng, num_slots=300)
     aggregates = build_aggregate_demand(history, 300, alpha=80.0, rng=rng)
@@ -114,7 +116,7 @@ def main() -> None:
         }
         print(f"  {key[1]}: renderer planned on {sorted(hosts)}")
 
-    online = synthetic_history(make_rng(2025), num_slots=100)
+    online = synthetic_history(make_rng(seed + 1), num_slots=100)
     olive = OliveAlgorithm(substrate, [app], plan, efficiency)
     result = simulate(olive, online, 100)
     print(f"\nOLIVE served {len(online)} online requests, "
@@ -126,4 +128,7 @@ def main() -> None:
 
 
 if __name__ == "__main__":
-    main()
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--seed", type=int, default=2024,
+                        help="history seed; the online trace uses seed+1")
+    main(seed=parser.parse_args().seed)

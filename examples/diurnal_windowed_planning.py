@@ -12,8 +12,10 @@ with a strong day/night cycle:
 * online replanning (recompute PLAN-VNE from the live observation window)
   needs no history at all.
 
-Run:  python examples/diurnal_windowed_planning.py
+Run:  python examples/diurnal_windowed_planning.py [--seed N]
 """
+
+import argparse
 
 from repro.apps.catalog import draw_standard_mix
 from repro.core.olive import OliveAlgorithm
@@ -29,8 +31,8 @@ from repro.workload.diurnal import generate_diurnal_trace
 from repro.workload.trace import TraceConfig, demand_mean_for_utilization
 
 
-def main() -> None:
-    rng = make_rng(11)
+def main(seed: int = 11) -> None:
+    rng = make_rng(seed)
     substrate = make_citta_studi()
     apps = draw_standard_mix(child_rng(rng, "apps"))
 
@@ -96,4 +98,7 @@ def main() -> None:
 
 
 if __name__ == "__main__":
-    main()
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--seed", type=int, default=11,
+                        help="workload seed (default: 11)")
+    main(seed=parser.parse_args().seed)

@@ -9,8 +9,10 @@ watches OLIVE serve a bursty MMPP workload — including requests served
 beyond their class guarantee by "borrowing" (and occasionally losing)
 capacity from underutilized classes.
 
-Run:  python examples/edge_provider_planning.py
+Run:  python examples/edge_provider_planning.py [--seed N]
 """
+
+import argparse
 
 from repro import ExperimentConfig, build_scenario, make_algorithm, simulate
 from repro.sim.metrics import NodeTimeline, rejection_rate
@@ -19,11 +21,11 @@ from repro.stats.bootstrap import bootstrap_percentile, demand_conforms
 from repro.utils.rng import make_rng
 
 
-def main() -> None:
+def main(seed: int = 7) -> None:
     config = ExperimentConfig.bench(
         topology="Iris", utilization=1.0, repetitions=1
     )
-    scenario = build_scenario(config, seed=7)
+    scenario = build_scenario(config, seed=seed)
 
     # -- 1. what did the history look like? ------------------------------
     history = scenario.trace.history_requests()
@@ -78,4 +80,7 @@ def main() -> None:
 
 
 if __name__ == "__main__":
-    main()
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--seed", type=int, default=7,
+                        help="scenario seed (default: 7)")
+    main(seed=parser.parse_args().seed)

@@ -8,14 +8,16 @@ is impossible, so the plain QUICKG heuristic cannot even participate —
 while OLIVE's plan handles the placement constraint naturally and beats
 the exact per-request embedder FULLG.
 
-Run:  python examples/gpu_offloading.py
+Run:  python examples/gpu_offloading.py [--seed N]
 """
+
+import argparse
 
 from repro import ExperimentConfig, build_scenario, make_algorithm, simulate
 from repro.sim.metrics import rejection_rate
 
 
-def main() -> None:
+def main(seed: int = 3) -> None:
     config = ExperimentConfig.bench(
         topology="Iris",
         utilization=1.0,
@@ -23,7 +25,7 @@ def main() -> None:
         app_mix="gpu",
         repetitions=1,
     )
-    scenario = build_scenario(config, seed=3)
+    scenario = build_scenario(config, seed=seed)
     gpu_nodes = scenario.substrate.gpu_nodes()
     print(f"substrate: {scenario.substrate.name} with "
           f"{len(gpu_nodes)} GPU datacenters "
@@ -55,4 +57,7 @@ def main() -> None:
 
 
 if __name__ == "__main__":
-    main()
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--seed", type=int, default=3,
+                        help="scenario seed (default: 3)")
+    main(seed=parser.parse_args().seed)

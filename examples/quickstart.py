@@ -5,8 +5,10 @@ Builds a small end-to-end scenario on the Citta Studi edge topology —
 history trace → time aggregation → PLAN-VNE → OLIVE — and compares OLIVE
 against the plain greedy baseline QUICKG on the same online workload.
 
-Run:  python examples/quickstart.py
+Run:  python examples/quickstart.py [--seed N]
 """
+
+import argparse
 
 from repro import (
     ExperimentConfig,
@@ -18,14 +20,14 @@ from repro import (
 )
 
 
-def main() -> None:
+def main(seed: int = 42) -> None:
     # A laptop-scale configuration: Citta Studi topology at 120 % edge
     # utilization (overload ⇒ embedding decisions actually matter).
     config = ExperimentConfig.test(utilization=1.2, online_slots=40,
                                    measure_start=5, measure_stop=35)
 
     # Assemble substrate + applications + trace + plan deterministically.
-    scenario = build_scenario(config, seed=42)
+    scenario = build_scenario(config, seed=seed)
     print(f"substrate : {scenario.substrate.name} "
           f"({scenario.substrate.num_nodes} nodes, "
           f"{scenario.substrate.num_links} links)")
@@ -51,4 +53,7 @@ def main() -> None:
 
 
 if __name__ == "__main__":
-    main()
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--seed", type=int, default=42,
+                        help="scenario seed (default: 42)")
+    main(seed=parser.parse_args().seed)

@@ -3,9 +3,12 @@
 :mod:`repro.experiments.config` holds the Table III parameters and the
 laptop-scale presets; :mod:`repro.experiments.scenario` assembles one
 simulation scenario (substrate + apps + trace + plan);
-:mod:`repro.experiments.figures` has one driver per paper figure.
+:mod:`repro.experiments.figures` has one driver per paper figure;
+:mod:`repro.experiments.cache` persists sweep results on disk keyed by
+parameters + code version.
 """
 
+from repro.experiments.cache import ResultCache, configure_cache, get_active_cache
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.scenario import Scenario, build_scenario, make_algorithm
 from repro.experiments.figures import (
@@ -24,6 +27,9 @@ from repro.experiments.figures import (
 
 __all__ = [
     "ExperimentConfig",
+    "ResultCache",
+    "configure_cache",
+    "get_active_cache",
     "Scenario",
     "build_scenario",
     "make_algorithm",

@@ -4,20 +4,32 @@ Examples::
 
     python -m repro.experiments list
     python -m repro.experiments fig6 --topology CittaStudi --scale test
-    python -m repro.experiments fig11 --scale bench
-    python -m repro.experiments fig16 --topology Iris
+    python -m repro.experiments fig11 --scale bench --jobs 4
+    python -m repro.experiments all --scale test
+    python -m repro.experiments fig16 --topology Iris --no-cache
 
 ``--scale`` selects the preset: ``paper`` (full Table III horizons — hours),
 ``bench`` (laptop minutes, the default), or ``test`` (seconds, smoke only).
+``--jobs N`` fans the seeded repetitions of every sweep point out over N
+worker processes; results are bit-identical to a serial run — except
+wall-clock ``runtime`` metrics, which are real timings and change with
+machine load (run fig16 serially, with ``--no-cache``, when the timings
+themselves are the result). Results are cached on disk keyed by
+parameters + code version, so re-running a figure with unchanged
+parameters returns instantly; disable with ``--no-cache`` or relocate
+with ``--cache-dir``.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+import time
 
-from repro.experiments.config import ExperimentConfig
 from repro.experiments import figures
+from repro.experiments.cache import configure_cache, get_active_cache
+from repro.experiments.config import BENCH_UTILIZATIONS, ExperimentConfig
+from repro.sim.runner import ParallelRunner, set_default_runner
 
 SCALES = {
     "paper": ExperimentConfig.paper,
@@ -39,6 +51,8 @@ FIGURES = {
     "fig16": "runtime scalability",
 }
 
+UTILIZATIONS = BENCH_UTILIZATIONS
+
 
 def _print_sweep(data, metric: str) -> None:
     for utilization, summary in data.items():
@@ -49,24 +63,183 @@ def _print_sweep(data, metric: str) -> None:
         print(f"  util={utilization:.0%}  {cells}")
 
 
-def main(argv: list[str] | None = None) -> int:
+def _render_fig6(config: ExperimentConfig, args) -> int:
+    data = figures.run_rejection_vs_utilization(config, UTILIZATIONS)
+    _print_sweep(data, "rejection_rate")
+    return 0
+
+
+def _render_fig7(config: ExperimentConfig, args) -> int:
+    data = figures.run_rejection_vs_utilization(config, UTILIZATIONS)
+    _print_sweep(data, "total_cost")
+    return 0
+
+
+def _render_fig8(config: ExperimentConfig, args) -> int:
+    config = config.with_(utilization=1.4)
+    zoom = (
+        config.measure_start,
+        min(config.measure_start + 30, config.measure_stop),
+    )
+    series = figures.run_demand_zoom(config, zoom)
+    for name, data in series.items():
+        mean = float(data["allocated"].mean())
+        print(f"  {name}: mean allocated demand {mean:.0f}")
+    return 0
+
+
+def _render_fig9(config: ExperimentConfig, args) -> int:
+    data = figures.run_by_application(config)
+    for app_type, summary in data.items():
+        algorithms = sorted({k.split(":")[0] for k in summary})
+        cells = "  ".join(
+            f"{a}={summary[f'{a}:rejection_rate'].mean:.3f}"
+            for a in algorithms
+        )
+        print(f"  {app_type:<12} {cells}")
+    return 0
+
+
+def _render_fig10(config: ExperimentConfig, args) -> int:
+    summary = figures.run_gpu_scenario(config)
+    for key, interval in summary.items():
+        if key.endswith("rejection_rate"):
+            print(f"  {key} = {interval.mean:.3f}")
+    return 0
+
+
+def _render_fig11(config: ExperimentConfig, args) -> int:
+    summary = figures.run_balance_quantiles(config.with_(utilization=1.4))
+    for name, interval in summary.items():
+        print(f"  {name:<12} balance={interval.mean:.3f}")
+    return 0
+
+
+def _render_fig12(config: ExperimentConfig, args) -> int:
+    if args.topology != "Iris":
+        print("fig12 references the 'Franklin' node of Iris")
+        return 2
+    timeline = figures.collect_node_timeline(config, "Franklin")
+    for app_index in sorted(timeline.guaranteed_demand):
+        counts = timeline.counts(app_index)
+        print(
+            f"  app {app_index}: guarantee="
+            f"{timeline.guaranteed_demand[app_index]:.1f}  "
+            + "  ".join(f"{k}={v}" for k, v in sorted(counts.items()))
+        )
+    return 0
+
+
+def _render_fig13(config: ExperimentConfig, args) -> int:
+    summary = figures.run_unexpected_demand(config.with_(utilization=1.4))
+    for name, interval in summary.items():
+        print(f"  {name:<17} rejection={interval.mean:.3f}")
+    return 0
+
+
+def _render_fig14(config: ExperimentConfig, args) -> int:
+    data = figures.run_shifted_plan(config, UTILIZATIONS)
+    _print_sweep(data, "rejection_rate")
+    return 0
+
+
+def _render_fig15(config: ExperimentConfig, args) -> int:
+    data = figures.run_caida(config, UTILIZATIONS)
+    _print_sweep(data, "rejection_rate")
+    return 0
+
+
+def _render_fig16(config: ExperimentConfig, args) -> int:
+    data = figures.run_runtime_scaling(config)
+    for rate, summary in data["by_rate"].items():
+        cells = "  ".join(f"{a}={ci.mean:.3f}s" for a, ci in summary.items())
+        print(f"  rate={rate:g}: {cells}")
+    for utilization, summary in data["by_utilization"].items():
+        cells = "  ".join(f"{a}={ci.mean:.3f}s" for a, ci in summary.items())
+        print(f"  util={utilization:.0%}: {cells}")
+    return 0
+
+
+RENDERERS = {
+    "fig6": _render_fig6,
+    "fig7": _render_fig7,
+    "fig8": _render_fig8,
+    "fig9": _render_fig9,
+    "fig10": _render_fig10,
+    "fig11": _render_fig11,
+    "fig12": _render_fig12,
+    "fig13": _render_fig13,
+    "fig14": _render_fig14,
+    "fig15": _render_fig15,
+    "fig16": _render_fig16,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments",
         description=__doc__,
         formatter_class=argparse.RawDescriptionHelpFormatter,
     )
-    parser.add_argument("figure", choices=sorted(FIGURES) + ["list"])
+    parser.add_argument("figure", choices=sorted(FIGURES) + ["all", "list"])
     parser.add_argument("--topology", default="Iris")
     parser.add_argument("--scale", choices=sorted(SCALES), default="bench")
     parser.add_argument("--utilization", type=float, default=1.0)
     parser.add_argument("--repetitions", type=int, default=1)
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for seeded repetitions (0 = one per CPU)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="recompute even when a cached result exists",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help="result cache root (default: $REPRO_CACHE_DIR or "
+        "~/.cache/repro/results)",
+    )
+    return parser
+
+
+def _run_figure(name: str, config: ExperimentConfig, args) -> int:
+    """Render one figure with a per-figure progress/result line."""
+    cache = get_active_cache()
+    hits_before = cache.hits if cache else 0
+    misses_before = cache.misses if cache else 0
+    started = time.perf_counter()
+    print(f"{name}: {FIGURES[name]}")
+    code = RENDERERS[name](config, args)
+    elapsed = time.perf_counter() - started
+    if cache is not None:
+        hits = cache.hits - hits_before
+        misses = cache.misses - misses_before
+        cache_note = f", cache {hits} hit / {misses} miss"
+    else:
+        cache_note = ""
+    status = "done" if code == 0 else f"skipped (exit {code})"
+    print(f"{name}: {status} in {elapsed:.1f}s{cache_note}")
+    return code
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
     args = parser.parse_args(argv)
+    if args.jobs < 0:
+        parser.error("--jobs must be >= 0 (0 = one job per CPU)")
 
     if args.figure == "list":
         for name, description in FIGURES.items():
             print(f"{name:<6} {description}")
         return 0
+
+    set_default_runner(ParallelRunner.from_jobs(args.jobs))
+    configure_cache(enabled=not args.no_cache, root=args.cache_dir)
 
     config = SCALES[args.scale](
         topology=args.topology,
@@ -74,80 +247,16 @@ def main(argv: list[str] | None = None) -> int:
         repetitions=args.repetitions,
         base_seed=args.seed,
     )
-    utilizations = (0.6, 1.0, 1.4)
 
-    if args.figure == "fig6":
-        data = figures.run_rejection_vs_utilization(config, utilizations)
-        _print_sweep(data, "rejection_rate")
-    elif args.figure == "fig7":
-        data = figures.run_rejection_vs_utilization(config, utilizations)
-        _print_sweep(data, "total_cost")
-    elif args.figure == "fig8":
-        config = config.with_(utilization=1.4)
-        zoom = (
-            config.measure_start,
-            min(config.measure_start + 30, config.measure_stop),
-        )
-        series = figures.run_demand_zoom(config, zoom)
-        for name, data in series.items():
-            mean = float(data["allocated"].mean())
-            print(f"  {name}: mean allocated demand {mean:.0f}")
-    elif args.figure == "fig9":
-        data = figures.run_by_application(config)
-        for app_type, summary in data.items():
-            algorithms = sorted({k.split(":")[0] for k in summary})
-            cells = "  ".join(
-                f"{a}={summary[f'{a}:rejection_rate'].mean:.3f}"
-                for a in algorithms
-            )
-            print(f"  {app_type:<12} {cells}")
-    elif args.figure == "fig10":
-        summary = figures.run_gpu_scenario(config)
-        for key, interval in summary.items():
-            if key.endswith("rejection_rate"):
-                print(f"  {key} = {interval.mean:.3f}")
-    elif args.figure == "fig11":
-        config = config.with_(utilization=1.4)
-        summary = figures.run_balance_quantiles(config)
-        for name, interval in summary.items():
-            print(f"  {name:<12} balance={interval.mean:.3f}")
-    elif args.figure == "fig12":
-        node = "Franklin" if args.topology == "Iris" else None
-        if node is None:
-            print("fig12 references the 'Franklin' node of Iris")
-            return 2
-        timeline = figures.collect_node_timeline(config, node)
-        for app_index in sorted(timeline.guaranteed_demand):
-            counts = timeline.counts(app_index)
-            print(
-                f"  app {app_index}: guarantee="
-                f"{timeline.guaranteed_demand[app_index]:.1f}  "
-                + "  ".join(f"{k}={v}" for k, v in sorted(counts.items()))
-            )
-    elif args.figure == "fig13":
-        config = config.with_(utilization=1.4)
-        summary = figures.run_unexpected_demand(config)
-        for name, interval in summary.items():
-            print(f"  {name:<17} rejection={interval.mean:.3f}")
-    elif args.figure == "fig14":
-        data = figures.run_shifted_plan(config, utilizations)
-        _print_sweep(data, "rejection_rate")
-    elif args.figure == "fig15":
-        data = figures.run_caida(config, utilizations)
-        _print_sweep(data, "rejection_rate")
-    elif args.figure == "fig16":
-        data = figures.run_runtime_scaling(config)
-        for rate, summary in data["by_rate"].items():
-            cells = "  ".join(
-                f"{a}={ci.mean:.3f}s" for a, ci in summary.items()
-            )
-            print(f"  rate={rate:g}: {cells}")
-        for utilization, summary in data["by_utilization"].items():
-            cells = "  ".join(
-                f"{a}={ci.mean:.3f}s" for a, ci in summary.items()
-            )
-            print(f"  util={utilization:.0%}: {cells}")
-    return 0
+    if args.figure == "all":
+        failures = 0
+        for name in RENDERERS:
+            code = _run_figure(name, config, args)
+            if code != 0 and not (name == "fig12" and args.topology != "Iris"):
+                failures += 1
+        return 1 if failures else 0
+
+    return _run_figure(args.figure, config, args)
 
 
 if __name__ == "__main__":

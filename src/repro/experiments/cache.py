@@ -1,0 +1,198 @@
+"""On-disk cache for experiment results.
+
+Every sweep point (one :class:`~repro.experiments.config.ExperimentConfig`
+plus the algorithm list and scenario perturbations) is keyed by a stable
+SHA-256 of its parameters together with a fingerprint of the ``repro``
+source tree, so results survive process restarts but are invalidated the
+moment any library code changes. Entries are human-inspectable JSON files
+of :class:`~repro.sim.runner.ConfidenceInterval` values.
+
+The cache is *opt-in* at the library level (``get_active_cache()`` returns
+``None`` until :func:`configure_cache` enables it); the CLI enables it by
+default and exposes ``--no-cache`` / ``--cache-dir``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import warnings
+from collections.abc import Mapping, Sequence
+from functools import lru_cache
+from pathlib import Path
+
+from repro.errors import SimulationError
+from repro.experiments.config import ExperimentConfig
+from repro.sim.runner import ConfidenceInterval
+from repro.utils.paths import default_cache_root
+
+#: Bump manually on cache-format changes (orthogonal to code fingerprint).
+CACHE_FORMAT = 1
+
+
+@lru_cache(maxsize=1)
+def code_fingerprint() -> str:
+    """SHA-256 over every ``.py`` file of the installed ``repro`` package.
+
+    Keying cache entries on this hash means a code change — any code
+    change, not just one we remembered to version — invalidates every
+    previously cached result.
+    """
+    package_root = Path(__file__).resolve().parent.parent
+    digest = hashlib.sha256()
+    for source in sorted(package_root.rglob("*.py")):
+        digest.update(str(source.relative_to(package_root)).encode())
+        digest.update(source.read_bytes())
+    return digest.hexdigest()
+
+
+def _jsonable(value):
+    """Normalize key components into deterministic JSON-encodable data."""
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return _jsonable(dataclasses.asdict(value))
+    if isinstance(value, Mapping):
+        return {str(k): _jsonable(v) for k, v in sorted(value.items())}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    raise SimulationError(
+        f"cache keys must be built from plain data, got {type(value)!r}"
+    )
+
+
+def result_key(
+    config: ExperimentConfig,
+    label: str,
+    algorithms: Sequence[str] = (),
+    extra: Mapping[str, object] | None = None,
+) -> str:
+    """Stable hash of one result's full parameterization.
+
+    ``label`` names what was computed (a figure/driver name), ``extra``
+    carries driver-specific perturbations (``num_quantiles``,
+    ``shift_plan_ingress``, ...). The repro code fingerprint and cache
+    format version are always mixed in.
+    """
+    payload = json.dumps(
+        {
+            "format": CACHE_FORMAT,
+            "code": code_fingerprint(),
+            "label": label,
+            "config": _jsonable(config),
+            "algorithms": list(algorithms),
+            "extra": _jsonable(dict(extra or {})),
+        },
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+def _encode_summary(summary: Mapping[str, ConfidenceInterval]) -> dict:
+    return {
+        metric: dataclasses.asdict(interval)
+        for metric, interval in summary.items()
+    }
+
+
+def _decode_summary(data: Mapping) -> dict[str, ConfidenceInterval]:
+    return {
+        metric: ConfidenceInterval(**fields)
+        for metric, fields in data.items()
+    }
+
+
+class ResultCache:
+    """Directory of JSON result files, one per :func:`result_key`."""
+
+    def __init__(self, root: Path | str | None = None) -> None:
+        self.root = Path(root) if root is not None else default_cache_root()
+        self.hits = 0
+        self.misses = 0
+
+    def _path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> dict[str, ConfidenceInterval] | None:
+        """The cached summary for ``key``, or ``None`` on a miss."""
+        path = self._path(key)
+        try:
+            data = json.loads(path.read_text())
+        except (OSError, ValueError):
+            self.misses += 1
+            return None
+        try:
+            summary = _decode_summary(data["summary"])
+        except (KeyError, TypeError):
+            # Unreadable entry (older format): treat as a miss; the next
+            # put() overwrites it.
+            self.misses += 1
+            return None
+        self.hits += 1
+        return summary
+
+    def put(
+        self, key: str, summary: Mapping[str, ConfidenceInterval]
+    ) -> None:
+        """Persist one summary; atomic enough for concurrent writers.
+
+        Writes go to a per-process temp name first, then ``rename`` into
+        place, so readers never observe a torn file. An unwritable cache
+        root degrades to a warning — the computed result must survive
+        even when persisting it cannot.
+        """
+        payload = json.dumps(
+            {"format": CACHE_FORMAT, "summary": _encode_summary(summary)},
+            sort_keys=True,
+            indent=1,
+        )
+        path = self._path(key)
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            temp = path.with_suffix(f".tmp{os.getpid()}")
+            temp.write_text(payload)
+            temp.replace(path)
+        except OSError as error:
+            warnings.warn(
+                f"result cache write failed under {self.root}: {error}",
+                stacklevel=2,
+            )
+
+    def clear(self) -> int:
+        """Delete every cached entry; returns how many were removed."""
+        removed = 0
+        if not self.root.exists():
+            return removed
+        for entry in self.root.rglob("*.json"):
+            entry.unlink(missing_ok=True)
+            removed += 1
+        return removed
+
+    def __len__(self) -> int:
+        if not self.root.exists():
+            return 0
+        return sum(1 for _ in self.root.rglob("*.json"))
+
+
+#: Process-wide cache consulted by the figure drivers; ``None`` = disabled.
+_active_cache: ResultCache | None = None
+
+
+def get_active_cache() -> ResultCache | None:
+    """The cache the drivers consult, or ``None`` when caching is off."""
+    return _active_cache
+
+
+def configure_cache(
+    enabled: bool = True, root: Path | str | None = None
+) -> ResultCache | None:
+    """Enable (or disable, with ``enabled=False``) the process-wide cache.
+
+    Returns the now-active cache (``None`` when disabled).
+    """
+    global _active_cache
+    _active_cache = ResultCache(root) if enabled else None
+    return _active_cache

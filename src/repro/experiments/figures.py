@@ -11,7 +11,9 @@ paper-shaped tables.
 from __future__ import annotations
 
 from collections.abc import Sequence
+from dataclasses import dataclass
 
+from repro.experiments.cache import get_active_cache, result_key
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.scenario import Scenario, build_scenario, make_algorithm
 from repro.sim.engine import SimulationResult, simulate
@@ -22,7 +24,11 @@ from repro.sim.metrics import (
     demand_series,
     rejection_rate,
 )
-from repro.sim.runner import ConfidenceInterval, repeat_runs
+from repro.sim.runner import (
+    ConfidenceInterval,
+    ParallelRunner,
+    get_default_runner,
+)
 
 DEFAULT_ALGORITHMS = ("OLIVE", "QUICKG", "SLOTOFF")
 
@@ -67,20 +73,54 @@ def summarize_run(
     return metrics
 
 
-def _sweep(
-    config: ExperimentConfig,
-    algorithms: Sequence[str],
-    **scenario_kwargs,
-) -> dict[str, ConfidenceInterval]:
-    """Repeat one configuration and summarize with confidence intervals."""
+@dataclass(frozen=True)
+class _SweepTask:
+    """One repetition of one sweep point, picklable for the process pool."""
 
-    def one(seed: int) -> dict[str, float]:
+    config: ExperimentConfig
+    algorithms: tuple[str, ...]
+    scenario_kwargs: tuple[tuple[str, object], ...]
+
+    def __call__(self, seed: int) -> dict[str, float]:
         scenario, results = run_single(
-            config, seed, algorithms, **scenario_kwargs
+            self.config,
+            seed,
+            self.algorithms,
+            **dict(self.scenario_kwargs),
         )
         return summarize_run(scenario, results)
 
-    return repeat_runs(one, config.repetitions, config.base_seed)
+
+def _sweep(
+    config: ExperimentConfig,
+    algorithms: Sequence[str],
+    runner: ParallelRunner | None = None,
+    **scenario_kwargs,
+) -> dict[str, ConfidenceInterval]:
+    """Repeat one configuration and summarize with confidence intervals.
+
+    Repetitions run through ``runner`` (the process-wide default when not
+    given). When a result cache is active the whole sweep point is looked
+    up first, so re-running a sweep recomputes only changed points.
+    """
+    cache = get_active_cache()
+    key = None
+    if cache is not None:
+        key = result_key(
+            config, "sweep", algorithms, extra=dict(scenario_kwargs)
+        )
+        cached = cache.get(key)
+        if cached is not None:
+            return cached
+    task = _SweepTask(
+        config, tuple(algorithms), tuple(sorted(scenario_kwargs.items()))
+    )
+    if runner is None:
+        runner = get_default_runner()
+    summary = runner.repeat(task, config.repetitions, config.base_seed)
+    if cache is not None and key is not None:
+        cache.put(key, summary)
+    return summary
 
 
 # -- Fig. 6 / Fig. 7: rejection rate and cost vs utilization -----------------
@@ -90,11 +130,12 @@ def run_rejection_vs_utilization(
     config: ExperimentConfig,
     utilizations: Sequence[float],
     algorithms: Sequence[str] = DEFAULT_ALGORITHMS,
+    runner: ParallelRunner | None = None,
 ) -> dict[float, dict[str, ConfidenceInterval]]:
     """The Fig. 6 (rejection) / Fig. 7 (cost) sweep for one topology."""
     return {
         utilization: _sweep(
-            config.with_(utilization=utilization), algorithms
+            config.with_(utilization=utilization), algorithms, runner
         )
         for utilization in utilizations
     }
@@ -125,10 +166,11 @@ def run_by_application(
     config: ExperimentConfig,
     app_types: Sequence[str] = ("chain", "tree", "accelerator", "standard"),
     algorithms: Sequence[str] = ("OLIVE", "QUICKG", "FULLG", "SLOTOFF"),
+    runner: ParallelRunner | None = None,
 ) -> dict[str, dict[str, ConfidenceInterval]]:
     """Rejection rate per application type at one utilization (Fig. 9)."""
     return {
-        app_type: _sweep(config.with_(app_mix=app_type), algorithms)
+        app_type: _sweep(config.with_(app_mix=app_type), algorithms, runner)
         for app_type in app_types
     }
 
@@ -139,6 +181,7 @@ def run_by_application(
 def run_gpu_scenario(
     config: ExperimentConfig,
     algorithms: Sequence[str] = ("OLIVE", "FULLG", "SLOTOFF"),
+    runner: ParallelRunner | None = None,
 ) -> dict[str, ConfidenceInterval]:
     """GPU-constrained chains on the split-GPU substrate (Fig. 10).
 
@@ -147,7 +190,7 @@ def run_gpu_scenario(
     datacenters.
     """
     gpu_config = config.with_(gpu_scenario=True, app_mix="gpu")
-    return _sweep(gpu_config, algorithms)
+    return _sweep(gpu_config, algorithms, runner)
 
 
 # -- Fig. 11: rejection balance vs quantile count ------------------------------
@@ -156,13 +199,14 @@ def run_gpu_scenario(
 def run_balance_quantiles(
     config: ExperimentConfig,
     quantile_counts: Sequence[int] = (1, 2, 10, 50),
+    runner: ParallelRunner | None = None,
 ) -> dict[str, ConfidenceInterval]:
     """Balance index for OLIVE at several P values plus QUICKG (Fig. 11)."""
     out: dict[str, ConfidenceInterval] = {}
-    quickg = _sweep(config, ["QUICKG"])
+    quickg = _sweep(config, ["QUICKG"], runner)
     out["QUICKG"] = quickg["QUICKG:balance"]
     for count in quantile_counts:
-        summary = _sweep(config, ["OLIVE"], num_quantiles=count)
+        summary = _sweep(config, ["OLIVE"], runner, num_quantiles=count)
         out[f"OLIVE:P={count}"] = summary["OLIVE:balance"]
     return out
 
@@ -191,6 +235,7 @@ def run_unexpected_demand(
     config: ExperimentConfig,
     plan_utilizations: Sequence[float] = (0.6, 1.0),
     reference_algorithms: Sequence[str] = DEFAULT_ALGORITHMS,
+    runner: ParallelRunner | None = None,
 ) -> dict[str, ConfidenceInterval]:
     """Plan for 60 %/100 % expected demand, run at the configured 140 %.
 
@@ -198,12 +243,12 @@ def run_unexpected_demand(
     the true level), QUICKG and SLOTOFF as references.
     """
     out: dict[str, ConfidenceInterval] = {}
-    reference = _sweep(config, reference_algorithms)
+    reference = _sweep(config, reference_algorithms, runner)
     for name in reference_algorithms:
         out[name] = reference[f"{name}:rejection_rate"]
     for plan_utilization in plan_utilizations:
         summary = _sweep(
-            config, ["OLIVE"], plan_utilization=plan_utilization
+            config, ["OLIVE"], runner, plan_utilization=plan_utilization
         )
         out[f"OLIVE:plan={plan_utilization:.0%}"] = summary[
             "OLIVE:rejection_rate"
@@ -218,12 +263,14 @@ def run_shifted_plan(
     config: ExperimentConfig,
     utilizations: Sequence[float],
     algorithms: Sequence[str] = ("OLIVE", "QUICKG"),
+    runner: ParallelRunner | None = None,
 ) -> dict[float, dict[str, ConfidenceInterval]]:
     """Plan built from randomly re-located history requests (Fig. 14)."""
     return {
         utilization: _sweep(
             config.with_(utilization=utilization),
             algorithms,
+            runner,
             shift_plan_ingress=True,
         )
         for utilization in utilizations
@@ -237,12 +284,13 @@ def run_caida(
     config: ExperimentConfig,
     utilizations: Sequence[float],
     algorithms: Sequence[str] = DEFAULT_ALGORITHMS,
+    runner: ParallelRunner | None = None,
 ) -> dict[float, dict[str, ConfidenceInterval]]:
     """The Fig. 6a experiment on the CAIDA-like trace (Fig. 15)."""
     caida = config.with_(trace_kind="caida")
     return {
         utilization: _sweep(
-            caida.with_(utilization=utilization), algorithms
+            caida.with_(utilization=utilization), algorithms, runner
         )
         for utilization in utilizations
     }
@@ -256,6 +304,7 @@ def run_runtime_scaling(
     arrival_rates: Sequence[float] = (2.0, 5.0, 10.0, 20.0),
     utilizations: Sequence[float] = (0.6, 1.0, 1.4),
     algorithms: Sequence[str] = ("OLIVE", "QUICKG"),
+    runner: ParallelRunner | None = None,
 ) -> dict[str, dict]:
     """Runtime vs arrival rate (Fig. 16a) and vs utilization (Fig. 16b–e).
 
@@ -266,13 +315,17 @@ def run_runtime_scaling(
     """
     by_rate = {}
     for rate in arrival_rates:
-        summary = _sweep(config.with_(arrivals_per_node=rate), algorithms)
+        summary = _sweep(
+            config.with_(arrivals_per_node=rate), algorithms, runner
+        )
         by_rate[rate] = {
             name: summary[f"{name}:runtime"] for name in algorithms
         }
     by_utilization = {}
     for utilization in utilizations:
-        summary = _sweep(config.with_(utilization=utilization), algorithms)
+        summary = _sweep(
+            config.with_(utilization=utilization), algorithms, runner
+        )
         by_utilization[utilization] = {
             name: summary[f"{name}:runtime"] for name in algorithms
         }

@@ -8,7 +8,14 @@ from repro.sim.metrics import (
     demand_series,
     rejection_rate,
 )
-from repro.sim.runner import ConfidenceInterval, confidence_interval, repeat_runs
+from repro.sim.runner import (
+    ConfidenceInterval,
+    ParallelRunner,
+    confidence_interval,
+    get_default_runner,
+    repeat_runs,
+    set_default_runner,
+)
 
 __all__ = [
     "SlotSimulator",
@@ -20,6 +27,9 @@ __all__ = [
     "demand_series",
     "NodeTimeline",
     "ConfidenceInterval",
+    "ParallelRunner",
     "confidence_interval",
+    "get_default_runner",
+    "set_default_runner",
     "repeat_runs",
 ]

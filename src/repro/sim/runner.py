@@ -1,19 +1,35 @@
 """Multi-repetition experiment runner with confidence intervals.
 
 The paper executes every configuration 30 times and reports averages with
-confidence intervals; :func:`repeat_runs` is the generic loop and
+confidence intervals; :class:`ParallelRunner` is the generic repetition
+engine (serial at ``jobs=1``, a process pool otherwise) and
 :func:`confidence_interval` the Student-t interval used for the error bars.
+
+Repetitions are embarrassingly parallel: repetition ``i`` is fully
+determined by ``base_seed + i``, so the runner produces bit-identical
+metric samples — and therefore bit-identical
+:class:`ConfidenceInterval` results — regardless of the job count. The
+one exception is metrics that *measure* wall-clock time (the drivers'
+``:runtime`` keys): those are genuine timings, never deterministic, and
+parallel workers sharing cores will distort them.
+:func:`repeat_runs` is kept as the serial-equivalent convenience wrapper.
 """
 
 from __future__ import annotations
 
-from collections.abc import Callable
+import os
+from collections.abc import Callable, Sequence
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 
 import numpy as np
 from scipy import stats
 
 from repro.errors import SimulationError
+
+#: Type of one repetition: ``run(seed) -> {metric: value}``.
+RunFn = Callable[[int], dict[str, float]]
 
 
 @dataclass(frozen=True)
@@ -59,25 +75,125 @@ def confidence_interval(
     )
 
 
-def repeat_runs(
-    run: Callable[[int], dict[str, float]],
-    repetitions: int,
-    base_seed: int = 0,
+def _aggregate(
+    metric_dicts: Sequence[dict[str, float]],
 ) -> dict[str, ConfidenceInterval]:
-    """Execute ``run(seed)`` for consecutive seeds and summarize each metric.
+    """Summarize per-repetition metric dicts, in repetition order.
 
-    ``run`` returns a flat metric dict; all repetitions must return the
-    same keys.
+    All repetitions must return the same metric keys; a mismatch names the
+    offending repetition and the exact key difference.
     """
-    if repetitions < 1:
-        raise SimulationError("need at least one repetition")
     samples: dict[str, list[float]] = {}
-    for repetition in range(repetitions):
-        metrics = run(base_seed + repetition)
-        if samples and set(metrics) != set(samples):
+    expected: set[str] | None = None
+    for repetition, metrics in enumerate(metric_dicts):
+        got = set(metrics)
+        if expected is None:
+            expected = got
+        elif got != expected:
+            missing = sorted(expected - got)
+            unexpected = sorted(got - expected)
+            parts = []
+            if missing:
+                parts.append(f"missing {missing}")
+            if unexpected:
+                parts.append(f"unexpected {unexpected}")
             raise SimulationError(
-                "repetitions returned inconsistent metric keys"
+                f"repetition {repetition} returned inconsistent metric "
+                f"keys: {', '.join(parts)} (relative to repetition 0)"
             )
         for key, value in metrics.items():
             samples.setdefault(key, []).append(float(value))
     return {key: confidence_interval(values) for key, values in samples.items()}
+
+
+@dataclass(frozen=True)
+class ParallelRunner:
+    """Fans seeded repetitions out over a process pool.
+
+    ``jobs=1`` is a deterministic serial fallback (no pool, no pickling
+    requirement); ``jobs>1`` maps seeds over a
+    :class:`~concurrent.futures.ProcessPoolExecutor`, which requires the
+    run callable to be picklable (a module-level function or a dataclass
+    with ``__call__``). Results are aggregated in repetition order either
+    way, so the summaries are identical for every job count.
+    """
+
+    jobs: int = 1
+
+    def __post_init__(self) -> None:
+        if self.jobs < 1:
+            raise SimulationError("jobs must be >= 1")
+
+    @classmethod
+    def from_jobs(cls, jobs: int | None) -> "ParallelRunner":
+        """``jobs=None``/``0`` means "one job per CPU"."""
+        if not jobs:
+            jobs = os.cpu_count() or 1
+        return cls(jobs=jobs)
+
+    def repeat(
+        self,
+        run: RunFn,
+        repetitions: int,
+        base_seed: int = 0,
+    ) -> dict[str, ConfidenceInterval]:
+        """Execute ``run(seed)`` for consecutive seeds and summarize.
+
+        ``run`` returns a flat metric dict; all repetitions must return
+        the same keys.
+        """
+        if repetitions < 1:
+            raise SimulationError("need at least one repetition")
+        seeds = [base_seed + repetition for repetition in range(repetitions)]
+        workers = min(self.jobs, repetitions)
+        if workers == 1:
+            metric_dicts = [run(seed) for seed in seeds]
+        else:
+            try:
+                metric_dicts = list(_shared_pool(workers).map(run, seeds))
+            except BrokenProcessPool:
+                # A dead worker poisons the whole executor; evict it so
+                # the next repeat() gets a fresh pool.
+                _pools.pop(workers, None)
+                raise
+        return _aggregate(metric_dicts)
+
+
+#: Long-lived executors keyed by worker count — sweeps call ``repeat()``
+#: once per point, and re-spawning workers (which re-import numpy/scipy)
+#: for every point would dominate small runs. Reaped at interpreter exit.
+_pools: dict[int, ProcessPoolExecutor] = {}
+
+
+def _shared_pool(workers: int) -> ProcessPoolExecutor:
+    pool = _pools.get(workers)
+    if pool is None:
+        pool = _pools[workers] = ProcessPoolExecutor(max_workers=workers)
+    return pool
+
+
+#: Process-wide runner used when a driver is not handed one explicitly;
+#: the CLI's ``--jobs`` flag swaps it out.
+_default_runner = ParallelRunner(jobs=1)
+
+
+def get_default_runner() -> ParallelRunner:
+    """The runner used by drivers when none is passed explicitly."""
+    return _default_runner
+
+
+def set_default_runner(runner: ParallelRunner) -> ParallelRunner:
+    """Replace the process-wide default runner; returns the previous one."""
+    global _default_runner
+    previous = _default_runner
+    _default_runner = runner
+    return previous
+
+
+def repeat_runs(
+    run: RunFn,
+    repetitions: int,
+    base_seed: int = 0,
+) -> dict[str, ConfidenceInterval]:
+    """Serial-equivalent wrapper around :meth:`ParallelRunner.repeat`."""
+    return ParallelRunner(jobs=1).repeat(run, repetitions, base_seed)

@@ -1,8 +1,10 @@
-"""Shared low-level utilities: seeding and shortest-path helpers."""
+"""Shared low-level utilities: seeding, filesystem roots, path helpers."""
 
 from repro.utils.rng import child_rng, make_rng, spawn_rngs
 from repro.utils.paths import (
     capacity_constrained_dijkstra,
+    data_root,
+    default_cache_root,
     path_links,
     path_cost,
 )
@@ -12,6 +14,8 @@ __all__ = [
     "child_rng",
     "spawn_rngs",
     "capacity_constrained_dijkstra",
+    "data_root",
+    "default_cache_root",
     "path_links",
     "path_cost",
 ]

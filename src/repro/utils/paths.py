@@ -1,14 +1,51 @@
-"""Shortest-path helpers over substrate networks.
+"""Path helpers: filesystem roots and substrate shortest paths.
 
-These helpers operate on adjacency structures (``dict[node, list[(neighbor,
-link_key)]]``) rather than on networkx graphs directly, because the online
-algorithms call them in tight loops where networkx overhead dominates.
+The filesystem helpers give every on-disk artifact (the experiment result
+cache, future trace downloads) one well-known, overridable root.
+
+The shortest-path helpers operate on adjacency structures (``dict[node,
+list[(neighbor, link_key)]]``) rather than on networkx graphs directly,
+because the online algorithms call them in tight loops where networkx
+overhead dominates.
 """
 
 from __future__ import annotations
 
 import heapq
+import os
 from collections.abc import Callable, Mapping, Sequence
+from pathlib import Path
+
+#: Environment variable overriding every on-disk root at once.
+DATA_ROOT_ENV = "REPRO_DATA_DIR"
+#: Environment variable overriding just the experiment result cache root.
+CACHE_ROOT_ENV = "REPRO_CACHE_DIR"
+
+
+def data_root() -> Path:
+    """Root directory for everything the library persists.
+
+    ``$REPRO_DATA_DIR`` if set, else ``~/.cache/repro`` (following the
+    XDG convention via ``$XDG_CACHE_HOME`` when present). The directory
+    is not created here — callers create what they actually use.
+    """
+    override = os.environ.get(DATA_ROOT_ENV)
+    if override:
+        return Path(override)
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = Path(xdg) if xdg else Path.home() / ".cache"
+    return base / "repro"
+
+
+def default_cache_root() -> Path:
+    """Default root of the experiment result cache.
+
+    ``$REPRO_CACHE_DIR`` if set, else ``<data_root()>/results``.
+    """
+    override = os.environ.get(CACHE_ROOT_ENV)
+    if override:
+        return Path(override)
+    return data_root() / "results"
 
 
 def capacity_constrained_dijkstra(

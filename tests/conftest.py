@@ -11,11 +11,29 @@ from __future__ import annotations
 import pytest
 
 from repro.apps.application import ROOT_ID, Application, VNF, VNFKind, VirtualLink
+from repro.experiments import cache as result_cache
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.scenario import build_scenario
+from repro.sim.runner import ParallelRunner, set_default_runner
 from repro.substrate.network import LinkAttrs, NodeAttrs, SubstrateNetwork
 from repro.substrate.tiers import Tier
+from repro.utils.paths import CACHE_ROOT_ENV, DATA_ROOT_ENV
 from repro.utils.rng import make_rng
+
+
+@pytest.fixture(autouse=True)
+def _isolated_runner_and_cache(tmp_path, monkeypatch):
+    """Keep the process-wide runner/cache state out of the home directory.
+
+    CLI invocations configure a global runner and result cache; tests must
+    neither write to ``~/.cache`` nor leak an enabled cache (or a parallel
+    runner) into the next test.
+    """
+    monkeypatch.setenv(DATA_ROOT_ENV, str(tmp_path / "repro-data"))
+    monkeypatch.setenv(CACHE_ROOT_ENV, str(tmp_path / "repro-cache"))
+    yield
+    set_default_runner(ParallelRunner(jobs=1))
+    result_cache.configure_cache(enabled=False)
 
 
 def make_line_substrate(

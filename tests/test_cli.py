@@ -33,6 +33,7 @@ class TestCli:
         out = capsys.readouterr().out
         assert "guarantee" in out
 
+    @pytest.mark.slow
     def test_fig10_runs_at_test_scale(self, capsys):
         code = main(
             ["fig10", "--topology", "CittaStudi", "--scale", "test"]
