@@ -13,7 +13,7 @@ from _bench_utils import (
     bench_config,
     bench_runner,
 )
-from repro.experiments.figures import run_rejection_vs_utilization
+from repro.api import Experiment
 
 
 def pytest_collection_modifyitems(items):
@@ -49,8 +49,12 @@ def utilization_sweep():
                 topology=topology,
                 repetitions=1 if (topology in SLOTOFF_TOPOLOGIES or FAST) else 2,
             )
-            cache[topology] = run_rejection_vs_utilization(
-                config, UTILIZATIONS, algorithms, runner=bench_runner()
+            cache[topology] = (
+                Experiment(config)
+                .algorithms(*algorithms)
+                .sweep("utilization", UTILIZATIONS)
+                .run(runner=bench_runner())
+                .keyed("utilization")
             )
         return cache[topology]
 

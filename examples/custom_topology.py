@@ -1,11 +1,16 @@
 #!/usr/bin/env python3
 """Bring your own substrate, applications, and placement policy.
 
-Everything the experiment drivers assemble can be built directly from the
-public API: a hand-made metro network, a custom application, an
-energy-aware (in)efficiency model (η^q_s > 1 on power-constrained sites),
-a synthetic history, a PLAN-VNE plan, and the OLIVE loop — no experiment
-config involved.
+Two routes to the same goal:
+
+1. **Registry route** — decorate your builders with
+   ``@register_topology`` / ``@register_efficiency`` /
+   ``@register_app_mix`` and every string-keyed entry point (the
+   ``Experiment`` facade, the CLI, ``build_scenario``) accepts them like
+   built-ins. No core file is touched.
+2. **Manual route** — assemble everything by hand: a synthetic history,
+   a PLAN-VNE plan, and the OLIVE loop, with no experiment config
+   involved.
 
 Run:  python examples/custom_topology.py [--seed N]
 """
@@ -13,9 +18,14 @@ Run:  python examples/custom_topology.py [--seed N]
 import argparse
 
 from repro import (
+    Experiment,
+    ExperimentConfig,
     OliveAlgorithm,
     Request,
     compute_plan,
+    register_app_mix,
+    register_efficiency,
+    register_topology,
     simulate,
 )
 from repro.apps.application import ROOT_ID, Application, VNF, VNFKind, VirtualLink
@@ -27,6 +37,7 @@ from repro.substrate.tiers import Tier
 from repro.utils.rng import make_rng
 
 
+@register_topology("metro", description="hand-built 5-node metro network")
 def build_metro_network() -> SubstrateNetwork:
     """Three street cabinets, one metro PoP, one regional datacenter."""
     nodes = {
@@ -61,6 +72,9 @@ def build_ar_application() -> Application:
     )
 
 
+@register_efficiency(
+    "energy", description="η > 1 on power-constrained street cabinets"
+)
 class EnergyAwareEfficiency(EfficiencyModel):
     """η > 1 on street cabinets: constrained power makes compute dearer."""
 
@@ -71,6 +85,12 @@ class EnergyAwareEfficiency(EfficiencyModel):
 
     def link_eta(self, vlink, link):
         return 1.0
+
+
+@register_app_mix("ar", description="a single AR pipeline application")
+def ar_mix(rng) -> list[Application]:
+    """The registered mix: one AR pipeline (rng unused — fixed sizes)."""
+    return [build_ar_application()]
 
 
 def synthetic_history(rng, num_slots: int) -> list[Request]:
@@ -93,6 +113,17 @@ def synthetic_history(rng, num_slots: int) -> list[Request]:
 
 
 def main(seed: int = 2024) -> None:
+    # -- route 1: registered components through the facade -----------------
+    config = ExperimentConfig.test(
+        topology="metro", app_mix="ar", efficiency="energy",
+        utilization=1.2, base_seed=seed,
+    )
+    result = Experiment(config).algorithms("OLIVE", "QUICKG").run()
+    print("registry route — custom topology/mix/efficiency via Experiment:")
+    print(result.table("rejection_rate"))
+
+    # -- route 2: everything by hand ---------------------------------------
+    print("\nmanual route — hand-built history and plan:")
     substrate = build_metro_network()
     app = build_ar_application()
     efficiency = EnergyAwareEfficiency()

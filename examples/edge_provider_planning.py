@@ -14,7 +14,7 @@ Run:  python examples/edge_provider_planning.py [--seed N]
 
 import argparse
 
-from repro import ExperimentConfig, build_scenario, make_algorithm, simulate
+from repro import ExperimentConfig, algorithm_registry, build_scenario, simulate
 from repro.sim.metrics import NodeTimeline, rejection_rate
 from repro.stats.aggregate import class_demand_series
 from repro.stats.bootstrap import bootstrap_percentile, demand_conforms
@@ -57,7 +57,9 @@ def main(seed: int = 7) -> None:
         print(f"online demand conforms to history for {busiest}: {ok}")
 
     # -- 4. run OLIVE and inspect one ingress node -------------------------
-    olive = make_algorithm("OLIVE", scenario)
+    # (the registry is the factory behind Experiment/make_algorithm; any
+    # name registered with @register_algorithm would work here)
+    olive = algorithm_registry.create("OLIVE", scenario)
     result = simulate(
         olive, scenario.online_requests(), config.online_slots
     )

@@ -13,8 +13,7 @@ Run:  python examples/gpu_offloading.py [--seed N]
 
 import argparse
 
-from repro import ExperimentConfig, build_scenario, make_algorithm, simulate
-from repro.sim.metrics import rejection_rate
+from repro import Experiment, ExperimentConfig, build_scenario
 
 
 def main(seed: int = 3) -> None:
@@ -24,6 +23,7 @@ def main(seed: int = 3) -> None:
         gpu_scenario=True,
         app_mix="gpu",
         repetitions=1,
+        base_seed=seed,
     )
     scenario = build_scenario(config, seed=seed)
     gpu_nodes = scenario.substrate.gpu_nodes()
@@ -32,23 +32,24 @@ def main(seed: int = 3) -> None:
           f"({', '.join(gpu_nodes[:4])}, ...)")
     print("applications: "
           + ", ".join(app.name for app in scenario.apps))
-
-    online = scenario.online_requests()
-    print(f"workload: {len(online)} GPU-chain requests\n")
-
-    rates = {}
-    for name in ("OLIVE", "FULLG"):
-        algorithm = make_algorithm(name, scenario)
-        result = simulate(algorithm, online, config.online_slots)
-        rates[name] = rejection_rate(result, config.measure_window)
-        print(f"{name:<6} rejection={rates[name]:6.2%}  "
-              f"runtime={result.runtime_seconds:5.2f}s")
+    print(f"workload: {len(scenario.online_requests())} GPU-chain requests\n")
 
     # QUICKG's strict collocation cannot split a chain across the GPU
-    # boundary — show that it rejects everything.
-    quickg = make_algorithm("QUICKG", scenario)
-    result = simulate(quickg, online, config.online_slots)
-    print(f"QUICKG rejection={rejection_rate(result, config.measure_window):6.2%}"
+    # boundary — include it to show that it rejects everything.
+    result = (
+        Experiment(config)
+        .algorithms("OLIVE", "FULLG", "QUICKG")
+        .run()
+    )
+    rates = {
+        name: result.summary[f"{name}:rejection_rate"].mean
+        for name in ("OLIVE", "FULLG", "QUICKG")
+    }
+    for name in ("OLIVE", "FULLG"):
+        runtime = result.summary[f"{name}:runtime"]
+        print(f"{name:<6} rejection={rates[name]:6.2%}  "
+              f"runtime={runtime.mean:5.2f}s")
+    print(f"QUICKG rejection={rates['QUICKG']:6.2%}"
           "  (collocation cannot satisfy the GPU constraint)")
 
     if rates["OLIVE"] <= rates["FULLG"]:

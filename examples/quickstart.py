@@ -1,34 +1,43 @@
 #!/usr/bin/env python3
-"""Quickstart: plan-based online VNE in ~30 lines of API.
+"""Quickstart: plan-based online VNE through the fluent `repro.api` facade.
 
-Builds a small end-to-end scenario on the Citta Studi edge topology —
-history trace → time aggregation → PLAN-VNE → OLIVE — and compares OLIVE
-against the plain greedy baseline QUICKG on the same online workload.
+One expression builds a small end-to-end scenario on the Citta Studi edge
+topology — history trace → time aggregation → PLAN-VNE → OLIVE — and
+compares OLIVE against the plain greedy baseline QUICKG on the same
+online workload. A second section drops to the low-level API to show
+what the facade assembles under the hood.
 
 Run:  python examples/quickstart.py [--seed N]
 """
 
 import argparse
 
-from repro import (
-    ExperimentConfig,
-    build_scenario,
-    cost_breakdown,
-    make_algorithm,
-    rejection_rate,
-    simulate,
-)
+from repro import Experiment, ExperimentConfig, build_scenario
 
 
 def main(seed: int = 42) -> None:
     # A laptop-scale configuration: Citta Studi topology at 120 % edge
     # utilization (overload ⇒ embedding decisions actually matter).
     config = ExperimentConfig.test(utilization=1.2, online_slots=40,
-                                   measure_start=5, measure_stop=35)
+                                   measure_start=5, measure_stop=35,
+                                   base_seed=seed)
 
-    # Assemble substrate + applications + trace + plan deterministically.
+    # -- the one-expression version ---------------------------------------
+    result = (
+        Experiment(config)
+        .algorithms("OLIVE", "QUICKG")
+        .run()
+    )
+    print("rejection rate / total cost (mean over repetitions):")
+    for name in ("OLIVE", "QUICKG"):
+        rate = result.summary[f"{name}:rejection_rate"]
+        cost = result.summary[f"{name}:total_cost"]
+        print(f"  {name:<7} rejection={rate.mean:6.2%}  "
+              f"total-cost={cost.mean:.3e}")
+
+    # -- what the facade assembled, piece by piece -------------------------
     scenario = build_scenario(config, seed=seed)
-    print(f"substrate : {scenario.substrate.name} "
+    print(f"\nsubstrate : {scenario.substrate.name} "
           f"({scenario.substrate.num_nodes} nodes, "
           f"{scenario.substrate.num_links} links)")
     print(f"plan      : {len(scenario.plan.classes)} classes, "
@@ -37,19 +46,7 @@ def main(seed: int = 42) -> None:
           f"{scenario.plan.mean_rejected_fraction():.1%}")
     online = scenario.online_requests()
     print(f"workload  : {len(online)} online requests "
-          f"over {config.online_slots} slots\n")
-
-    for name in ("OLIVE", "QUICKG"):
-        algorithm = make_algorithm(name, scenario)
-        result = simulate(algorithm, online, config.online_slots)
-        rate = rejection_rate(result, config.measure_window)
-        costs = cost_breakdown(
-            result, scenario.substrate, scenario.apps, config.measure_window
-        )
-        print(f"{name:<7} rejection={rate:6.2%}  "
-              f"resource-cost={costs.resource:.3e}  "
-              f"rejection-cost={costs.rejection:.3e}  "
-              f"algo-runtime={result.runtime_seconds:5.2f}s")
+          f"over {config.online_slots} slots")
 
 
 if __name__ == "__main__":

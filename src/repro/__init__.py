@@ -3,6 +3,9 @@ Embedding" (OLIVE, ICDCS 2025).
 
 Public API quick-map:
 
+* the fluent experiment facade — :mod:`repro.api` (start here);
+* pluggable component registries — :mod:`repro.registry`
+  (``@register_algorithm``, ``@register_topology``, ...);
 * substrate networks — :mod:`repro.substrate` (four evaluation topologies);
 * applications / virtual networks — :mod:`repro.apps`;
 * workload traces — :mod:`repro.workload`;
@@ -15,16 +18,19 @@ Public API quick-map:
 
 Minimal end-to-end example::
 
-    from repro import (
-        ExperimentConfig, build_scenario, make_algorithm, simulate,
-        rejection_rate,
-    )
+    from repro import Experiment, ExperimentConfig
 
-    config = ExperimentConfig.test(utilization=1.0)
-    scenario = build_scenario(config, seed=0)
-    olive = make_algorithm("OLIVE", scenario)
-    result = simulate(olive, scenario.online_requests(), config.online_slots)
-    print(rejection_rate(result, config.measure_window))
+    result = (
+        Experiment(ExperimentConfig.test())
+        .algorithms("OLIVE", "QUICKG")
+        .sweep("utilization", (0.6, 1.0, 1.4))
+        .run(jobs=4)
+    )
+    print(result.table("rejection_rate"))
+
+The lower-level building blocks stay public — ``build_scenario`` /
+``make_algorithm`` / ``simulate`` assemble and run one repetition by
+hand when the facade is too coarse.
 """
 
 from repro.errors import (
@@ -32,6 +38,7 @@ from repro.errors import (
     InfeasibleError,
     LPError,
     PlanError,
+    RegistryError,
     ReproError,
     SimulationError,
     TopologyError,
@@ -92,9 +99,29 @@ from repro.sim import (
     rejection_rate,
     simulate,
 )
-from repro.experiments import ExperimentConfig, build_scenario, make_algorithm
+from repro.experiments import (
+    ExperimentConfig,
+    algorithms_need_plan,
+    build_scenario,
+    make_algorithm,
+)
+from repro.api import Experiment, SweepPoint, SweepResult
+from repro.registry import (
+    Registry,
+    RegistryEntry,
+    algorithm_registry,
+    app_mix_registry,
+    efficiency_registry,
+    register_algorithm,
+    register_app_mix,
+    register_efficiency,
+    register_topology,
+    register_trace,
+    topology_registry,
+    trace_registry,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     # errors
@@ -105,6 +132,7 @@ __all__ = [
     "ApplicationError",
     "WorkloadError",
     "PlanError",
+    "RegistryError",
     "SimulationError",
     # substrate
     "SubstrateNetwork",
@@ -164,6 +192,24 @@ __all__ = [
     "confidence_interval",
     # experiments
     "ExperimentConfig",
+    "algorithms_need_plan",
     "build_scenario",
     "make_algorithm",
+    # facade
+    "Experiment",
+    "SweepPoint",
+    "SweepResult",
+    # registries
+    "Registry",
+    "RegistryEntry",
+    "algorithm_registry",
+    "topology_registry",
+    "trace_registry",
+    "app_mix_registry",
+    "efficiency_registry",
+    "register_algorithm",
+    "register_topology",
+    "register_trace",
+    "register_app_mix",
+    "register_efficiency",
 ]

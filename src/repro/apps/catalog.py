@@ -17,6 +17,7 @@ import numpy as np
 
 from repro.apps.application import ROOT_ID, Application, VNF, VNFKind, VirtualLink
 from repro.errors import ApplicationError
+from repro.registry import register_app_mix
 
 #: Table III: element sizes ~ N(50, 900) = N(50, 30²).
 SIZE_MEAN = 50.0
@@ -131,6 +132,9 @@ def make_gpu_chain(
     return Application(name=f"{name}-{k}", vnfs=tuple(vnfs), links=tuple(links))
 
 
+@register_app_mix(
+    "standard", description="2 chains + 1 tree + 1 accelerator (Table III)"
+)
 def draw_standard_mix(rng: np.random.Generator) -> list[Application]:
     """The Table III application set: 2 chains, 1 tree, 1 accelerator.
 
@@ -166,3 +170,21 @@ def make_uniform_type_set(
             f"unknown application type {app_type!r}; known: {sorted(makers)}"
         ) from None
     return [maker(rng, name=f"{app_type}-{i}") for i in range(count)]
+
+
+def _register_uniform_mixes() -> None:
+    """Register the single-type mixes of the Fig. 9 / Fig. 10 studies."""
+    descriptions = {
+        "chain": "4 linear service chains",
+        "tree": "4 two-branch trees",
+        "accelerator": "4 accelerator chains (70 % downstream shrink)",
+        "gpu": "4 GPU chains (Fig. 10 placement constraint)",
+    }
+    for app_type, description in descriptions.items():
+        def make_mix(rng, _type=app_type):
+            return make_uniform_type_set(rng, _type)
+
+        register_app_mix(app_type, description=description)(make_mix)
+
+
+_register_uniform_mixes()

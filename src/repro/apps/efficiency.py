@@ -15,6 +15,7 @@ The two models used in the evaluation:
 from __future__ import annotations
 
 from repro.apps.application import VNF, VNFKind, VirtualLink
+from repro.registry import register_efficiency
 from repro.substrate.network import LinkAttrs, NodeAttrs
 
 
@@ -38,6 +39,7 @@ class EfficiencyModel:
         return self.node_eta(vnf, node) is not None
 
 
+@register_efficiency("uniform", description="η ≡ 1 everywhere (default)")
 class UniformEfficiency(EfficiencyModel):
     """η ≡ 1: every VNF fits every datacenter equally well."""
 
@@ -48,6 +50,9 @@ class UniformEfficiency(EfficiencyModel):
         return 1.0
 
 
+@register_efficiency(
+    "gpu", description="GPU VNFs ↔ GPU datacenters exclusivity (Fig. 10)"
+)
 class GpuAwareEfficiency(EfficiencyModel):
     """GPU exclusivity: GPU VNFs ↔ GPU datacenters only.
 

@@ -37,3 +37,7 @@ class PlanError(ReproError):
 
 class SimulationError(ReproError):
     """Raised for inconsistent simulator state or configuration."""
+
+
+class RegistryError(ReproError):
+    """Raised for invalid component registrations (e.g. duplicate names)."""

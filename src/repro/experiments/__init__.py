@@ -2,15 +2,22 @@
 
 :mod:`repro.experiments.config` holds the Table III parameters and the
 laptop-scale presets; :mod:`repro.experiments.scenario` assembles one
-simulation scenario (substrate + apps + trace + plan);
-:mod:`repro.experiments.figures` has one driver per paper figure;
-:mod:`repro.experiments.cache` persists sweep results on disk keyed by
-parameters + code version.
+simulation scenario (substrate + apps + trace + plan) and registers the
+built-in algorithms; :mod:`repro.experiments.figures` has one driver per
+paper figure, each a thin wrapper over the fluent :mod:`repro.api`
+facade; :mod:`repro.experiments.cache` persists sweep results on disk
+keyed by parameters + code version.
 """
 
 from repro.experiments.cache import ResultCache, configure_cache, get_active_cache
 from repro.experiments.config import ExperimentConfig
-from repro.experiments.scenario import Scenario, build_scenario, make_algorithm
+from repro.experiments.scenario import (
+    ALGORITHM_NAMES,
+    Scenario,
+    algorithms_need_plan,
+    build_scenario,
+    make_algorithm,
+)
 from repro.experiments.figures import (
     collect_node_timeline,
     run_balance_quantiles,
@@ -26,11 +33,13 @@ from repro.experiments.figures import (
 )
 
 __all__ = [
+    "ALGORITHM_NAMES",
     "ExperimentConfig",
     "ResultCache",
     "configure_cache",
     "get_active_cache",
     "Scenario",
+    "algorithms_need_plan",
     "build_scenario",
     "make_algorithm",
     "run_single",

@@ -4,9 +4,16 @@ Examples::
 
     python -m repro.experiments list
     python -m repro.experiments fig6 --topology CittaStudi --scale test
+    python -m repro.experiments fig6 --algo OLIVE --algo OLIVE-W
     python -m repro.experiments fig11 --scale bench --jobs 4
     python -m repro.experiments all --scale test
     python -m repro.experiments fig16 --topology Iris --no-cache
+
+``list`` prints every figure target plus the component registries
+(algorithms, topologies, trace kinds, app mixes, efficiency models) —
+including any third-party components registered via
+:mod:`repro.registry`. ``--algo NAME`` (repeatable) overrides a figure's
+default algorithm set with any registered algorithms.
 
 ``--scale`` selects the preset: ``paper`` (full Table III horizons — hours),
 ``bench`` (laptop minutes, the default), or ``test`` (seconds, smoke only).
@@ -26,6 +33,7 @@ import argparse
 import sys
 import time
 
+from repro import registry
 from repro.experiments import figures
 from repro.experiments.cache import configure_cache, get_active_cache
 from repro.experiments.config import BENCH_UTILIZATIONS, ExperimentConfig
@@ -54,6 +62,28 @@ FIGURES = {
 UTILIZATIONS = BENCH_UTILIZATIONS
 
 
+def _algo_kwargs(args) -> dict:
+    """``algorithms=`` override for drivers when ``--algo`` was given."""
+    return {"algorithms": tuple(args.algo)} if args.algo else {}
+
+
+def _print_registries() -> None:
+    """Print every component registry (live contents, incl. third-party)."""
+    print("\nalgorithms (--algo):")
+    for entry in registry.algorithm_registry.entries():
+        plan = "plan" if entry.needs_plan else "no plan"
+        print(f"  {entry.name:<10} [{plan:<7}] {entry.description}")
+    for title, reg in (
+        ("topologies (--topology)", registry.topology_registry),
+        ("trace kinds (config.trace_kind)", registry.trace_registry),
+        ("app mixes (config.app_mix)", registry.app_mix_registry),
+        ("efficiency models (config.efficiency)", registry.efficiency_registry),
+    ):
+        print(f"\n{title}:")
+        for entry in reg.entries():
+            print(f"  {entry.name:<12} {entry.description}")
+
+
 def _print_sweep(data, metric: str) -> None:
     for utilization, summary in data.items():
         algorithms = sorted({k.split(":")[0] for k in summary})
@@ -64,13 +94,17 @@ def _print_sweep(data, metric: str) -> None:
 
 
 def _render_fig6(config: ExperimentConfig, args) -> int:
-    data = figures.run_rejection_vs_utilization(config, UTILIZATIONS)
+    data = figures.run_rejection_vs_utilization(
+        config, UTILIZATIONS, **_algo_kwargs(args)
+    )
     _print_sweep(data, "rejection_rate")
     return 0
 
 
 def _render_fig7(config: ExperimentConfig, args) -> int:
-    data = figures.run_rejection_vs_utilization(config, UTILIZATIONS)
+    data = figures.run_rejection_vs_utilization(
+        config, UTILIZATIONS, **_algo_kwargs(args)
+    )
     _print_sweep(data, "total_cost")
     return 0
 
@@ -81,7 +115,7 @@ def _render_fig8(config: ExperimentConfig, args) -> int:
         config.measure_start,
         min(config.measure_start + 30, config.measure_stop),
     )
-    series = figures.run_demand_zoom(config, zoom)
+    series = figures.run_demand_zoom(config, zoom, **_algo_kwargs(args))
     for name, data in series.items():
         mean = float(data["allocated"].mean())
         print(f"  {name}: mean allocated demand {mean:.0f}")
@@ -89,7 +123,7 @@ def _render_fig8(config: ExperimentConfig, args) -> int:
 
 
 def _render_fig9(config: ExperimentConfig, args) -> int:
-    data = figures.run_by_application(config)
+    data = figures.run_by_application(config, **_algo_kwargs(args))
     for app_type, summary in data.items():
         algorithms = sorted({k.split(":")[0] for k in summary})
         cells = "  ".join(
@@ -101,7 +135,7 @@ def _render_fig9(config: ExperimentConfig, args) -> int:
 
 
 def _render_fig10(config: ExperimentConfig, args) -> int:
-    summary = figures.run_gpu_scenario(config)
+    summary = figures.run_gpu_scenario(config, **_algo_kwargs(args))
     for key, interval in summary.items():
         if key.endswith("rejection_rate"):
             print(f"  {key} = {interval.mean:.3f}")
@@ -138,19 +172,19 @@ def _render_fig13(config: ExperimentConfig, args) -> int:
 
 
 def _render_fig14(config: ExperimentConfig, args) -> int:
-    data = figures.run_shifted_plan(config, UTILIZATIONS)
+    data = figures.run_shifted_plan(config, UTILIZATIONS, **_algo_kwargs(args))
     _print_sweep(data, "rejection_rate")
     return 0
 
 
 def _render_fig15(config: ExperimentConfig, args) -> int:
-    data = figures.run_caida(config, UTILIZATIONS)
+    data = figures.run_caida(config, UTILIZATIONS, **_algo_kwargs(args))
     _print_sweep(data, "rejection_rate")
     return 0
 
 
 def _render_fig16(config: ExperimentConfig, args) -> int:
-    data = figures.run_runtime_scaling(config)
+    data = figures.run_runtime_scaling(config, **_algo_kwargs(args))
     for rate, summary in data["by_rate"].items():
         cells = "  ".join(f"{a}={ci.mean:.3f}s" for a, ci in summary.items())
         print(f"  rate={rate:g}: {cells}")
@@ -183,6 +217,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("figure", choices=sorted(FIGURES) + ["all", "list"])
     parser.add_argument("--topology", default="Iris")
+    parser.add_argument(
+        "--algo",
+        action="append",
+        default=None,
+        metavar="NAME",
+        help="override a figure's algorithm set with this registered "
+        "algorithm (repeatable; see 'list' for known names)",
+    )
     parser.add_argument("--scale", choices=sorted(SCALES), default="bench")
     parser.add_argument("--utilization", type=float, default=1.0)
     parser.add_argument("--repetitions", type=int, default=1)
@@ -207,8 +249,16 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+#: Figures whose algorithm set is part of the figure's definition
+#: (fig11/fig13 study OLIVE perturbations, fig12 is OLIVE at one node).
+ALGO_FIXED_FIGURES = frozenset({"fig11", "fig12", "fig13"})
+
+
 def _run_figure(name: str, config: ExperimentConfig, args) -> int:
     """Render one figure with a per-figure progress/result line."""
+    if args.algo and name in ALGO_FIXED_FIGURES:
+        print(f"{name}: note: --algo is ignored "
+              "(this figure's algorithm set is fixed)")
     cache = get_active_cache()
     hits_before = cache.hits if cache else 0
     misses_before = cache.misses if cache else 0
@@ -234,9 +284,18 @@ def main(argv: list[str] | None = None) -> int:
         parser.error("--jobs must be >= 0 (0 = one job per CPU)")
 
     if args.figure == "list":
+        print("figures:")
         for name, description in FIGURES.items():
-            print(f"{name:<6} {description}")
+            print(f"  {name:<6} {description}")
+        _print_registries()
         return 0
+
+    for name in args.algo or ():
+        if name not in registry.algorithm_registry:
+            parser.error(
+                f"unknown algorithm {name!r}; known: "
+                f"{list(registry.algorithm_registry.names())}"
+            )
 
     set_default_runner(ParallelRunner.from_jobs(args.jobs))
     configure_cache(enabled=not args.no_cache, root=args.cache_dir)

@@ -26,9 +26,12 @@ class ExperimentConfig:
 
     topology: str = "Iris"
     utilization: float = 1.0
-    app_mix: str = "standard"  # standard | chain | tree | accelerator | gpu
-    trace_kind: str = "mmpp"  # mmpp | caida
+    app_mix: str = "standard"  # any registered app mix
+    trace_kind: str = "mmpp"  # any registered trace kind
     gpu_scenario: bool = False
+    #: Registered efficiency-model name; "" = auto ("gpu" when
+    #: ``gpu_scenario`` else "uniform").
+    efficiency: str = ""
     history_slots: int = 5400
     online_slots: int = 600
     measure_start: int = 100

@@ -1,36 +1,45 @@
-"""One driver per paper figure (Sec. IV-B).
+"""One driver per paper figure (Sec. IV-B), built on :mod:`repro.api`.
 
-Every driver builds scenarios via :func:`repro.experiments.scenario.build_scenario`,
-runs the requested algorithms on the *same* trace and plan (the paper's
-methodology), and returns plain dicts of
+Every driver is a thin wrapper over the fluent
+:class:`~repro.api.Experiment` facade: it selects algorithms, sweep axes
+and perturbations, runs through the shared parallel-runner + result-cache
+engine, and returns plain dicts of
 :class:`~repro.sim.runner.ConfidenceInterval` values keyed by
 ``"{algorithm}:{metric}"`` — ready for the benchmark harness to print
 paper-shaped tables.
+
+``run_single``/``summarize_run``/``_sweep`` are kept as deprecation
+shims over their :mod:`repro.api` equivalents so pre-facade callers and
+tests keep working; new code should use :mod:`repro.api` directly.
 """
 
 from __future__ import annotations
 
 from collections.abc import Sequence
-from dataclasses import dataclass
 
-from repro.experiments.cache import get_active_cache, result_key
+from repro import api
+from repro.api import DEFAULT_ALGORITHMS
 from repro.experiments.config import ExperimentConfig
-from repro.experiments.scenario import Scenario, build_scenario, make_algorithm
-from repro.sim.engine import SimulationResult, simulate
-from repro.sim.metrics import (
-    NodeTimeline,
-    balance_index,
-    cost_breakdown,
-    demand_series,
-    rejection_rate,
-)
-from repro.sim.runner import (
-    ConfidenceInterval,
-    ParallelRunner,
-    get_default_runner,
-)
+from repro.experiments.scenario import Scenario
+from repro.sim.engine import SimulationResult
+from repro.sim.metrics import NodeTimeline, demand_series
+from repro.sim.runner import ConfidenceInterval, ParallelRunner
 
-DEFAULT_ALGORITHMS = ("OLIVE", "QUICKG", "SLOTOFF")
+__all__ = [
+    "DEFAULT_ALGORITHMS",
+    "run_single",
+    "summarize_run",
+    "run_rejection_vs_utilization",
+    "run_demand_zoom",
+    "run_by_application",
+    "run_gpu_scenario",
+    "run_balance_quantiles",
+    "collect_node_timeline",
+    "run_unexpected_demand",
+    "run_shifted_plan",
+    "run_caida",
+    "run_runtime_scaling",
+]
 
 
 def run_single(
@@ -39,56 +48,15 @@ def run_single(
     algorithms: Sequence[str] = DEFAULT_ALGORITHMS,
     **scenario_kwargs,
 ) -> tuple[Scenario, dict[str, SimulationResult]]:
-    """Run one repetition of one configuration for several algorithms."""
-    with_plan = any(name == "OLIVE" for name in algorithms)
-    scenario = build_scenario(
-        config, seed, with_plan=with_plan, **scenario_kwargs
-    )
-    online = scenario.online_requests()
-    results = {}
-    for name in algorithms:
-        algorithm = make_algorithm(name, scenario)
-        results[name] = simulate(algorithm, online, config.online_slots)
-    return scenario, results
+    """Deprecated shim for :func:`repro.api.run_single`."""
+    return api.run_single(config, seed, algorithms, **scenario_kwargs)
 
 
 def summarize_run(
     scenario: Scenario, results: dict[str, SimulationResult]
 ) -> dict[str, float]:
-    """Flatten one repetition's results into ``alg:metric`` values."""
-    window = scenario.config.measure_window
-    metrics: dict[str, float] = {}
-    for name, result in results.items():
-        costs = cost_breakdown(
-            result, scenario.substrate, scenario.apps, window
-        )
-        metrics[f"{name}:rejection_rate"] = rejection_rate(result, window)
-        metrics[f"{name}:resource_cost"] = costs.resource
-        metrics[f"{name}:rejection_cost"] = costs.rejection
-        metrics[f"{name}:total_cost"] = costs.total
-        metrics[f"{name}:runtime"] = result.runtime_seconds
-        metrics[f"{name}:balance"] = balance_index(
-            result, len(scenario.apps), window
-        )
-    return metrics
-
-
-@dataclass(frozen=True)
-class _SweepTask:
-    """One repetition of one sweep point, picklable for the process pool."""
-
-    config: ExperimentConfig
-    algorithms: tuple[str, ...]
-    scenario_kwargs: tuple[tuple[str, object], ...]
-
-    def __call__(self, seed: int) -> dict[str, float]:
-        scenario, results = run_single(
-            self.config,
-            seed,
-            self.algorithms,
-            **dict(self.scenario_kwargs),
-        )
-        return summarize_run(scenario, results)
+    """Deprecated shim for :func:`repro.api.summarize_run`."""
+    return api.summarize_run(scenario, results)
 
 
 def _sweep(
@@ -97,30 +65,25 @@ def _sweep(
     runner: ParallelRunner | None = None,
     **scenario_kwargs,
 ) -> dict[str, ConfidenceInterval]:
-    """Repeat one configuration and summarize with confidence intervals.
+    """Deprecated shim for :func:`repro.api.run_point`.
 
-    Repetitions run through ``runner`` (the process-wide default when not
-    given). When a result cache is active the whole sweep point is looked
-    up first, so re-running a sweep recomputes only changed points.
+    Routes the engine through this module's ``run_single``/
+    ``summarize_run`` names so monkeypatches on them keep working.
     """
-    cache = get_active_cache()
-    key = None
-    if cache is not None:
-        key = result_key(
-            config, "sweep", algorithms, extra=dict(scenario_kwargs)
-        )
-        cached = cache.get(key)
-        if cached is not None:
-            return cached
-    task = _SweepTask(
-        config, tuple(algorithms), tuple(sorted(scenario_kwargs.items()))
+    return api.run_point(
+        config,
+        algorithms,
+        runner=runner,
+        run_fn=run_single,
+        summarize_fn=summarize_run,
+        **scenario_kwargs,
     )
-    if runner is None:
-        runner = get_default_runner()
-    summary = runner.repeat(task, config.repetitions, config.base_seed)
-    if cache is not None and key is not None:
-        cache.put(key, summary)
-    return summary
+
+
+def _experiment(
+    config: ExperimentConfig, algorithms: Sequence[str]
+) -> api.Experiment:
+    return api.Experiment(config).algorithms(*algorithms)
 
 
 # -- Fig. 6 / Fig. 7: rejection rate and cost vs utilization -----------------
@@ -133,12 +96,12 @@ def run_rejection_vs_utilization(
     runner: ParallelRunner | None = None,
 ) -> dict[float, dict[str, ConfidenceInterval]]:
     """The Fig. 6 (rejection) / Fig. 7 (cost) sweep for one topology."""
-    return {
-        utilization: _sweep(
-            config.with_(utilization=utilization), algorithms, runner
-        )
-        for utilization in utilizations
-    }
+    result = (
+        _experiment(config, algorithms)
+        .sweep("utilization", utilizations)
+        .run(runner=runner)
+    )
+    return result.keyed("utilization")
 
 
 # -- Fig. 8: allocated-demand zoom -------------------------------------------
@@ -169,10 +132,12 @@ def run_by_application(
     runner: ParallelRunner | None = None,
 ) -> dict[str, dict[str, ConfidenceInterval]]:
     """Rejection rate per application type at one utilization (Fig. 9)."""
-    return {
-        app_type: _sweep(config.with_(app_mix=app_type), algorithms, runner)
-        for app_type in app_types
-    }
+    result = (
+        _experiment(config, algorithms)
+        .sweep("app_mix", app_types)
+        .run(runner=runner)
+    )
+    return result.keyed("app_mix")
 
 
 # -- Fig. 10: the GPU scenario ------------------------------------------------
@@ -190,7 +155,7 @@ def run_gpu_scenario(
     datacenters.
     """
     gpu_config = config.with_(gpu_scenario=True, app_mix="gpu")
-    return _sweep(gpu_config, algorithms, runner)
+    return dict(_experiment(gpu_config, algorithms).run(runner=runner).summary)
 
 
 # -- Fig. 11: rejection balance vs quantile count ------------------------------
@@ -203,11 +168,16 @@ def run_balance_quantiles(
 ) -> dict[str, ConfidenceInterval]:
     """Balance index for OLIVE at several P values plus QUICKG (Fig. 11)."""
     out: dict[str, ConfidenceInterval] = {}
-    quickg = _sweep(config, ["QUICKG"], runner)
-    out["QUICKG"] = quickg["QUICKG:balance"]
-    for count in quantile_counts:
-        summary = _sweep(config, ["OLIVE"], runner, num_quantiles=count)
-        out[f"OLIVE:P={count}"] = summary["OLIVE:balance"]
+    quickg = _experiment(config, ["QUICKG"]).run(runner=runner)
+    out["QUICKG"] = quickg.points[0].value("QUICKG", "balance")
+    olive = (
+        _experiment(config, ["OLIVE"])
+        .sweep("num_quantiles", quantile_counts)
+        .run(runner=runner)
+    )
+    for point in olive:
+        count = point.params["num_quantiles"]
+        out[f"OLIVE:P={count}"] = point.value("OLIVE", "balance")
     return out
 
 
@@ -243,16 +213,19 @@ def run_unexpected_demand(
     the true level), QUICKG and SLOTOFF as references.
     """
     out: dict[str, ConfidenceInterval] = {}
-    reference = _sweep(config, reference_algorithms, runner)
+    reference = _experiment(config, reference_algorithms).run(runner=runner)
     for name in reference_algorithms:
-        out[name] = reference[f"{name}:rejection_rate"]
-    for plan_utilization in plan_utilizations:
-        summary = _sweep(
-            config, ["OLIVE"], runner, plan_utilization=plan_utilization
+        out[name] = reference.points[0].value(name, "rejection_rate")
+    perturbed = (
+        _experiment(config, ["OLIVE"])
+        .sweep("plan_utilization", plan_utilizations)
+        .run(runner=runner)
+    )
+    for point in perturbed:
+        plan_utilization = point.params["plan_utilization"]
+        out[f"OLIVE:plan={plan_utilization:.0%}"] = point.value(
+            "OLIVE", "rejection_rate"
         )
-        out[f"OLIVE:plan={plan_utilization:.0%}"] = summary[
-            "OLIVE:rejection_rate"
-        ]
     return out
 
 
@@ -266,15 +239,13 @@ def run_shifted_plan(
     runner: ParallelRunner | None = None,
 ) -> dict[float, dict[str, ConfidenceInterval]]:
     """Plan built from randomly re-located history requests (Fig. 14)."""
-    return {
-        utilization: _sweep(
-            config.with_(utilization=utilization),
-            algorithms,
-            runner,
-            shift_plan_ingress=True,
-        )
-        for utilization in utilizations
-    }
+    result = (
+        _experiment(config, algorithms)
+        .perturb(shift_plan_ingress=True)
+        .sweep("utilization", utilizations)
+        .run(runner=runner)
+    )
+    return result.keyed("utilization")
 
 
 # -- Fig. 15: CAIDA-derived demand ---------------------------------------------
@@ -287,13 +258,12 @@ def run_caida(
     runner: ParallelRunner | None = None,
 ) -> dict[float, dict[str, ConfidenceInterval]]:
     """The Fig. 6a experiment on the CAIDA-like trace (Fig. 15)."""
-    caida = config.with_(trace_kind="caida")
-    return {
-        utilization: _sweep(
-            caida.with_(utilization=utilization), algorithms, runner
-        )
-        for utilization in utilizations
-    }
+    result = (
+        _experiment(config.with_(trace_kind="caida"), algorithms)
+        .sweep("utilization", utilizations)
+        .run(runner=runner)
+    )
+    return result.keyed("utilization")
 
 
 # -- Fig. 16: runtime scalability ------------------------------------------------
@@ -313,20 +283,26 @@ def run_runtime_scaling(
     exactly as in the paper ("we maintained the same utilization in all
     executions by scaling the mean request size").
     """
-    by_rate = {}
-    for rate in arrival_rates:
-        summary = _sweep(
-            config.with_(arrivals_per_node=rate), algorithms, runner
-        )
-        by_rate[rate] = {
-            name: summary[f"{name}:runtime"] for name in algorithms
+    by_rate_result = (
+        _experiment(config, algorithms)
+        .sweep("arrivals_per_node", arrival_rates)
+        .run(runner=runner)
+    )
+    by_rate = {
+        point.params["arrivals_per_node"]: {
+            name: point.value(name, "runtime") for name in algorithms
         }
-    by_utilization = {}
-    for utilization in utilizations:
-        summary = _sweep(
-            config.with_(utilization=utilization), algorithms, runner
-        )
-        by_utilization[utilization] = {
-            name: summary[f"{name}:runtime"] for name in algorithms
+        for point in by_rate_result
+    }
+    by_utilization_result = (
+        _experiment(config, algorithms)
+        .sweep("utilization", utilizations)
+        .run(runner=runner)
+    )
+    by_utilization = {
+        point.params["utilization"]: {
+            name: point.value(name, "runtime") for name in algorithms
         }
+        for point in by_utilization_result
+    }
     return {"by_rate": by_rate, "by_utilization": by_utilization}

@@ -19,6 +19,7 @@ from dataclasses import replace
 import numpy as np
 
 from repro.errors import TopologyError
+from repro.registry import register_topology, topology_registry
 from repro.substrate.network import (
     LinkAttrs,
     LinkId,
@@ -160,6 +161,7 @@ def make_tiered_topology(
     return SubstrateNetwork(name=name, nodes=nodes, links=links)
 
 
+@register_topology("Iris", description="50 nodes / 64 links, Topology Zoo scale")
 def make_iris() -> SubstrateNetwork:
     """Iris: 50 nodes, 64 links (Internet Topology Zoo scale).
 
@@ -177,6 +179,9 @@ def make_iris() -> SubstrateNetwork:
     )
 
 
+@register_topology(
+    "CittaStudi", description="30 nodes / 35 links, mobile edge scale"
+)
 def make_citta_studi() -> SubstrateNetwork:
     """Citta Studi: 30 nodes, 35 links (mobile edge network scale)."""
     return make_tiered_topology(
@@ -185,6 +190,9 @@ def make_citta_studi() -> SubstrateNetwork:
     )
 
 
+@register_topology(
+    "5GEN", description="78 nodes / 100 links, generated 5G deployment"
+)
 def make_5gen() -> SubstrateNetwork:
     """5GEN: 78 nodes, 100 links (generated 5G deployment scale)."""
     return make_tiered_topology(
@@ -193,6 +201,9 @@ def make_5gen() -> SubstrateNetwork:
     )
 
 
+@register_topology(
+    "100N150E", description="connected Erdős–Rényi graph, 100 nodes / 150 links"
+)
 def make_100n150e(seed: int = 47) -> SubstrateNetwork:
     """100N150E: connected Erdős–Rényi graph, 100 nodes / 150 links.
 
@@ -308,20 +319,12 @@ def split_gpu_datacenters(
 
 
 #: Registry used by experiments and benchmarks.
-TOPOLOGY_BUILDERS = {
-    "Iris": make_iris,
-    "CittaStudi": make_citta_studi,
-    "5GEN": make_5gen,
-    "100N150E": make_100n150e,
-}
+#: Live read-only ``{name: builder}`` view of the topology registry.
+#: Third-party topologies registered via ``@register_topology`` appear
+#: here automatically.
+TOPOLOGY_BUILDERS = topology_registry.as_mapping()
 
 
 def make_topology(name: str) -> SubstrateNetwork:
-    """Build a registered topology by name."""
-    try:
-        builder = TOPOLOGY_BUILDERS[name]
-    except KeyError:
-        raise TopologyError(
-            f"unknown topology {name!r}; known: {sorted(TOPOLOGY_BUILDERS)}"
-        ) from None
-    return builder()
+    """Build a registered topology by name (``repro.registry`` backed)."""
+    return topology_registry.create(name)

@@ -17,6 +17,7 @@ import numpy as np
 
 from repro.apps.application import Application
 from repro.errors import WorkloadError
+from repro.registry import register_trace
 from repro.substrate.network import SubstrateNetwork
 from repro.utils.rng import child_rng
 from repro.workload.popularity import assign_node_popularity
@@ -42,6 +43,10 @@ def diurnal_rates(
     )
 
 
+@register_trace(
+    "diurnal",
+    description="sinusoidal day/night arrival cycle (windowed-planning study)",
+)
 def generate_diurnal_trace(
     substrate: SubstrateNetwork,
     apps: list[Application],

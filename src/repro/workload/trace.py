@@ -15,6 +15,7 @@ import numpy as np
 
 from repro.apps.application import Application
 from repro.errors import WorkloadError
+from repro.registry import register_trace
 from repro.substrate.network import SubstrateNetwork
 from repro.utils.rng import child_rng
 from repro.workload.arrivals import MMPPProcess
@@ -169,6 +170,7 @@ def _draw_requests_for_slot(
     ]
 
 
+@register_trace("mmpp", description="bursty MMPP arrivals (Table III default)")
 def generate_mmpp_trace(
     substrate: SubstrateNetwork,
     apps: list[Application],
@@ -204,6 +206,9 @@ def generate_mmpp_trace(
     return Trace(config=config, requests=requests, node_popularity=popularity)
 
 
+@register_trace(
+    "caida", description="heavy-tailed CAIDA-like source aggregation (Fig. 15)"
+)
 def generate_caida_like_trace(
     substrate: SubstrateNetwork,
     apps: list[Application],
