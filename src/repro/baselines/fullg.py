@@ -32,15 +32,17 @@ import math
 from repro.apps.application import ROOT_ID, Application
 from repro.apps.efficiency import EfficiencyModel, UniformEfficiency
 from repro.core.embedding import Embedding, compute_loads
+from repro.core.profile import AppProfile, AppProfileCache
 from repro.core.residual import ResidualState
 from repro.errors import SimulationError
-from repro.substrate.network import NodeId, SubstrateNetwork
+from repro.substrate.network import NodeId, SubstrateNetwork, substrate_index
 from repro.workload.request import Request
 
 
 def _multi_source_dijkstra(
     substrate: SubstrateNetwork,
-    residual: ResidualState,
+    link_residual: dict,
+    link_cost: dict,
     seeds: dict[NodeId, float],
     link_load: float,
 ) -> tuple[dict[NodeId, float], dict[NodeId, tuple[NodeId, tuple]]]:
@@ -49,7 +51,9 @@ def _multi_source_dijkstra(
     Seeds are the subtree costs H_k(w); traversal is restricted to links
     whose residual capacity covers ``link_load`` and priced at
     ``link_load × cost(link)`` per hop. Walking parents from any v leads
-    back to its optimal seed node w.
+    back to its optimal seed node w. ``link_residual``/``link_cost`` are
+    plain-dict snapshots (residuals are fixed for the duration of one
+    request; native dict lookups keep the relaxation loop fast).
     """
     dist: dict[NodeId, float] = dict(seeds)
     parent: dict[NodeId, tuple[NodeId, tuple]] = {}
@@ -65,9 +69,9 @@ def _multi_source_dijkstra(
         for neighbor, link in substrate.adjacency[node]:
             if neighbor in finished:
                 continue
-            if residual.links[link] < link_load:
+            if link_residual[link] < link_load:
                 continue
-            candidate = d + link_load * substrate.link_cost(link)
+            candidate = d + link_load * link_cost[link]
             if candidate < dist.get(neighbor, math.inf):
                 dist[neighbor] = candidate
                 parent[neighbor] = (node, link)
@@ -82,11 +86,32 @@ def exact_embed(
     substrate: SubstrateNetwork,
     efficiency: EfficiencyModel,
     residual: ResidualState,
+    profile: AppProfile | None = None,
 ) -> Embedding | None:
-    """Exact min-cost embedding of one request, or None if infeasible."""
+    """Exact min-cost embedding of one request, or None if infeasible.
+
+    ``profile`` supplies precomputed per-(VNF, node) η rows so the
+    placement-feasibility scan skips the per-node efficiency calls; the
+    resulting placement costs are bit-identical either way.
+    """
     demand = request.demand
     if request.ingress not in substrate.nodes:
         raise SimulationError(f"unknown ingress {request.ingress!r}")
+    index = substrate_index(substrate)
+    node_ids = index.node_ids
+    node_costs = index.node_cost_list
+    # Position-indexed residuals, already in node-id order; fixed for the
+    # duration of one request. The link snapshot feeds the per-virtual-
+    # link Dijkstras' key-based lookups.
+    node_residual = residual.node_residual
+    link_residual = dict(zip(index.link_ids, residual.link_residual))
+    link_cost = index.link_cost_map
+    eta_lists = (
+        {vnf_id: etas for vnf_id, (_, etas) in
+         zip(profile.vnf_ids, profile.node_terms)}
+        if profile is not None
+        else None
+    )
 
     # Bottom-up DP. Children of a node must be solved before the node, so
     # process virtual links in reverse BFS order.
@@ -96,18 +121,27 @@ def exact_embed(
     ordered = app.links_in_bfs_order()
     for vlink in reversed(ordered):
         child = app.vnf(vlink.head)
+        if eta_lists is not None:
+            etas = eta_lists[child.id]
+        else:
+            etas = [
+                efficiency.node_eta(child, substrate.nodes[v])
+                for v in node_ids
+            ]
         place: dict[NodeId, float] = {}
-        for v, attrs in substrate.nodes.items():
-            eta = efficiency.node_eta(child, attrs)
+        grand_links = app.children_links(child.id)
+        size = child.size
+        for i, v in enumerate(node_ids):
+            eta = etas[i]
             if eta is None:
                 continue
-            load = demand * child.size * eta
-            if load > residual.nodes[v]:
+            load = demand * size * eta
+            if load != load or load > node_residual[i]:  # nan = forbidden
                 continue
-            cost = load * attrs.cost
+            cost = load * node_costs[i]
             extra = 0.0
             feasible = True
-            for grand_link in app.children_links(child.id):
+            for grand_link in grand_links:
                 routed = route_maps[grand_link.key][0]
                 if v not in routed:
                     feasible = False
@@ -120,7 +154,7 @@ def exact_embed(
         subtree_cost[child.id] = place
         link_load = demand * vlink.size
         route_maps[vlink.key] = _multi_source_dijkstra(
-            substrate, residual, place, link_load
+            substrate, link_residual, link_cost, place, link_load
         )
 
     # Root: θ is pinned to the ingress with β = 0.
@@ -173,6 +207,9 @@ class FullGAlgorithm:
         self.name = "FULLG"
         self.residual = ResidualState(substrate)
         self.active: dict[int, tuple[Request, object, float]] = {}
+        #: Shared per-application static data (η rows per node), reused
+        #: by every request's placement-feasibility scan.
+        self.profiles = AppProfileCache(substrate, self.efficiency)
 
     def release(self, request: Request) -> None:
         entry = self.active.pop(request.id, None)
@@ -185,7 +222,8 @@ class FullGAlgorithm:
 
         app = self.apps[request.app_index]
         embedding = exact_embed(
-            request, app, self.substrate, self.efficiency, self.residual
+            request, app, self.substrate, self.efficiency, self.residual,
+            profile=self.profiles.get(app),
         )
         if embedding is None:
             return Decision(request=request, accepted=False)

@@ -20,6 +20,7 @@ def make_quickg(
     substrate: SubstrateNetwork,
     apps: list[Application],
     efficiency: EfficiencyModel | None = None,
+    use_fast_greedy: bool = True,
 ) -> OliveAlgorithm:
     """Build the QUICKG baseline for one simulation run."""
     return OliveAlgorithm(
@@ -30,4 +31,5 @@ def make_quickg(
         enable_preemption=False,
         allow_split_greedy=False,
         name="QUICKG",
+        use_fast_greedy=use_fast_greedy,
     )

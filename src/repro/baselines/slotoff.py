@@ -21,6 +21,7 @@ from dataclasses import dataclass
 from repro.apps.application import ROOT_ID, Application
 from repro.apps.efficiency import EfficiencyModel, UniformEfficiency
 from repro.core.olive import Decision
+from repro.core.profile import MemoizedEfficiency
 from repro.core.residual import EPSILON
 from repro.lp.solver import solve_lp
 from repro.plan.formulation import PlanVNEConfig, build_plan_vne
@@ -50,7 +51,11 @@ class SlotOffAlgorithm:
     ) -> None:
         self.substrate = substrate
         self.apps = apps
-        self.efficiency = efficiency or UniformEfficiency()
+        # The per-slot PLAN-VNE rebuild asks for the same (VNF, node) /
+        # (virtual link, link) η pairs every slot; memoizing the lookups
+        # removes that repeated work from the feasibility checks without
+        # changing a single coefficient.
+        self.efficiency = MemoizedEfficiency(efficiency or UniformEfficiency())
         self.config = config or PlanVNEConfig()
         self.name = "SLOTOFF"
         #: Requests currently embedded (accepted and still active).

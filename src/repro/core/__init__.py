@@ -6,14 +6,26 @@ This package holds the online machinery shared by OLIVE and the baselines:
   their induced loads (Eq. 1);
 * :mod:`repro.core.residual` — residual substrate capacity Res(S, t, x)
   (Eq. 16) and the residual plan Res(y, t, x) (Eq. 17);
-* :mod:`repro.core.greedy` — the collocated least-cost GREEDYEMBED;
+* :mod:`repro.core.greedy` — the collocated least-cost GREEDYEMBED
+  (incremental fast path: memoized path trees + vectorized scoring);
+* :mod:`repro.core.greedy_reference` — the frozen scalar GREEDYEMBED the
+  decision-equivalence tests compare against;
+* :mod:`repro.core.profile` — per-application static quantities
+  (:class:`AppProfile`) and precompiled load recipes feeding the fast
+  path;
 * :mod:`repro.core.olive` — Algorithm 2: planned embedding, borrowed
   partial-fit embedding, preemption, and greedy fallback.
 """
 
 from repro.core.embedding import Embedding, ElementLoads, compute_loads
 from repro.core.residual import PlanResidual, ResidualState
-from repro.core.greedy import greedy_embed
+from repro.core.greedy import GreedyContext, PathCache, greedy_embed
+from repro.core.profile import (
+    AppProfile,
+    AppProfileCache,
+    LoadsRecipe,
+    MemoizedEfficiency,
+)
 from repro.core.olive import Decision, OliveAlgorithm
 
 __all__ = [
@@ -23,6 +35,12 @@ __all__ = [
     "ResidualState",
     "PlanResidual",
     "greedy_embed",
+    "GreedyContext",
+    "PathCache",
+    "AppProfile",
+    "AppProfileCache",
+    "LoadsRecipe",
+    "MemoizedEfficiency",
     "OliveAlgorithm",
     "Decision",
 ]

@@ -1,30 +1,307 @@
 """GREEDYEMBED: collocated least-cost embedding (Algorithm 2, lines 31–34).
 
-The heuristic restricts candidate embeddings to those collocating all VNFs
-of the request on a single substrate node, which reduces the OFF-VNE search
-to a capacity-constrained shortest-path problem from the ingress (the only
-virtual links that consume substrate link capacity are those adjacent to θ;
-intra-node links ride the backplane for free).
+This module is the *incremental* implementation of the paper's
+GREEDYEMBED. The scalar reference (one full Dijkstra plus an O(nodes)
+host scan per arriving request) lives unchanged in
+:mod:`repro.core.greedy_reference`; this fast path produces bit-identical
+embeddings from three ingredients:
+
+* **Memoized shortest-path trees** (:class:`PathCache`). The
+  capacity-constrained Dijkstra from an ingress depends on the residual
+  state only through the per-link feasibility predicate
+  ``residual ≥ route_load`` — link weights are static costs scaled by the
+  route load. A cached tree therefore stays valid for every request whose
+  route load falls in the entry's *feasibility band* ``(lo, hi]``, where
+  ``hi`` is the smallest residual among feasible links and ``lo`` the
+  largest among infeasible ones. Per-request distances are *replayed*
+  along the cached tree with the request's own route load, reproducing
+  the reference accumulation exactly.
+* **Dirty-set invalidation.** :class:`~repro.core.residual.ResidualState`
+  logs every link whose residual changes (``allocate``/``release``/view
+  writes). The cache sweeps that log lazily, tightening each entry's band
+  only for the touched links — a tree is *not* discarded when a link on
+  it changes residual but stays on the same side of the entry's
+  feasibility split; when the conservative band no longer covers a
+  request, the band is re-anchored exactly (two masked reductions — an
+  exact band covering the load certifies the feasibility vector) before
+  any Dijkstra is re-run.
+* **Profile-driven host scoring** over
+  :class:`~repro.core.profile.AppProfile` load data: a native-float scan
+  in substrate order when η is node-independent, numpy expressions for
+  per-node η — either way the arithmetic and first-strict-minimum
+  tie-breaking match the reference scalar scan bit for bit.
 
 For applications whose placement rules make full collocation impossible —
 the GPU scenario, where GPU and non-GPU VNFs exclude each other — the
-generalized two-group variant collocates each placement-compatible group on
-its own host and routes between the (at most three) hosts. The paper's
-QUICKG keeps the strict single-host restriction (it skips the GPU study for
-exactly this reason); pass ``allow_split_groups=False`` to reproduce that.
+generalized two-group variant collocates each placement-compatible group
+on its own host and routes between the (at most three) hosts. The paper's
+QUICKG keeps the strict single-host restriction (it skips the GPU study
+for exactly this reason); pass ``allow_split_groups=False`` to reproduce
+that.
 """
 
 from __future__ import annotations
 
 import itertools
+import math
 
-from repro.apps.application import ROOT_ID, Application, VNFKind
+import numpy as np
+
+from repro.apps.application import ROOT_ID, Application
 from repro.apps.efficiency import EfficiencyModel
-from repro.core.embedding import Embedding, compute_loads
+from repro.core.embedding import Embedding, ElementLoads, compute_loads
+from repro.core.profile import AppProfile, AppProfileCache
 from repro.core.residual import ResidualState
-from repro.substrate.network import NodeId, SubstrateNetwork
-from repro.utils.paths import capacity_constrained_dijkstra, path_links
+from repro.substrate.network import SubstrateIndex, SubstrateNetwork
+from repro.utils.paths import indexed_capacity_dijkstra
 from repro.workload.request import Request
+
+#: Cached shortest-path trees kept per source node; bands rarely overlap
+#: for more than a couple of load regimes, so a small bound suffices.
+MAX_TREES_PER_SOURCE = 8
+
+
+class _TreeEntry:
+    """One memoized shortest-path tree rooted at ``source``.
+
+    ``feasible`` is the per-link feasibility vector the tree was computed
+    under; ``(lo, hi]`` is the route-load band for which the *current*
+    residuals reproduce that vector. ``order``/``parents``/``pcosts``
+    describe the tree in settle order for exact distance replay;
+    ``parent_node``/``parent_link`` support path reconstruction.
+    """
+
+    __slots__ = (
+        "source", "feasible", "lo", "hi", "cursor",
+        "order", "parents", "pcosts", "parent_node", "parent_link",
+        "scan_nodes",
+    )
+
+    def __init__(self, source, feasible, order, parent_node, parent_link,
+                 pcost_of_link):
+        self.source = source
+        self.feasible = feasible
+        self.lo = -math.inf
+        self.hi = math.inf
+        #: Position in the residual's dirty log up to which ``lo``/``hi``
+        #: reflect link-residual changes.
+        self.cursor = 0
+        self.order = order
+        self.parent_node = parent_node
+        self.parent_link = parent_link
+        # Tree edges in settle order (source excluded), as plain floats.
+        self.parents = [parent_node[v] for v in order[1:]]
+        self.pcosts = [pcost_of_link[parent_link[v]] for v in order[1:]]
+        #: Reached nodes in ascending index order — the candidate-host
+        #: scan must visit nodes in substrate insertion order so ties
+        #: break exactly like the reference scan.
+        self.scan_nodes = sorted(order)
+
+    def reset_band(self, link_residual: np.ndarray, cursor: int) -> None:
+        """Recompute the exact feasibility band from current residuals.
+
+        With exact bounds, ``lo < load <= hi`` is *equivalent* to "the
+        feasibility vector at ``load`` equals this entry's vector": every
+        cached-feasible link still has residual ≥ load iff ``load ≤ hi``,
+        every cached-infeasible link still falls short iff ``load > lo``.
+        """
+        self.lo = float(
+            np.max(link_residual, initial=-math.inf, where=~self.feasible)
+        )
+        self.hi = float(
+            np.min(link_residual, initial=math.inf, where=self.feasible)
+        )
+        self.cursor = cursor
+
+    def absorb_dirty(self, link_residual: list[float], changed: list[int],
+                     cursor: int) -> None:
+        """Tighten the band for the ``changed`` link positions (the dirty
+        log since :attr:`cursor`; conservative — a too-narrow band only
+        forces a revalidation, never a wrong reuse)."""
+        feasible = self.feasible
+        lo = self.lo
+        hi = self.hi
+        for position in changed:
+            value = link_residual[position]
+            if feasible[position]:
+                if value < hi:
+                    hi = float(value)
+            elif value > lo:
+                lo = float(value)
+        self.lo = lo
+        self.hi = hi
+        self.cursor = cursor
+
+    def distances(self, num_nodes: int, load: float) -> list[float]:
+        """Replay per-node distances at ``load`` along the cached tree.
+
+        Identical accumulation to the reference Dijkstra's relaxations
+        (``dist[parent] + load × cost``, parents settled first), hence
+        bit-identical distances.
+        """
+        dist = [math.inf] * num_nodes
+        dist[self.order[0]] = 0.0
+        for v, p, c in zip(self.order[1:], self.parents, self.pcosts):
+            dist[v] = dist[p] + load * c
+        return dist
+
+    def path_to(self, target: int, link_ids) -> tuple[tuple, list[int]]:
+        """The tree path source→target: (LinkId tuple, link positions)."""
+        links = []
+        positions = []
+        node = target
+        parent_node = self.parent_node
+        parent_link = self.parent_link
+        while node != self.source:
+            position = parent_link[node]
+            positions.append(position)
+            links.append(link_ids[position])
+            node = parent_node[node]
+        links.reverse()
+        positions.reverse()
+        return tuple(links), positions
+
+
+class PathCache:
+    """Band-memoized capacity-constrained Dijkstra trees.
+
+    One instance per algorithm, attached to that algorithm's
+    :class:`~repro.core.residual.ResidualState`. Lookup order: absorb
+    the residual's dirty-log suffix into each candidate's band
+    (O(changed links)), then an O(1) band check per cached tree, then an
+    exact band re-anchor (two masked reductions), and only then a fresh
+    Dijkstra.
+    """
+
+    #: Dirty-log backlog beyond which absorbing per-link deltas would cost
+    #: more than one vectorized revalidation.
+    MAX_DELTA = 32
+
+    def __init__(self, index: SubstrateIndex, residual: ResidualState) -> None:
+        self.index = index
+        self.residual = residual
+        self.entries: dict[int, list[_TreeEntry]] = {}
+        self.hits = 0
+        self.misses = 0
+        # Band sharing (one tree serving every load in its feasibility
+        # band) is provably decision-exact only when link costs are
+        # uniform — true for all built-in topologies. Heterogeneous-cost
+        # substrates (possible via the topology registry) get a fresh
+        # Dijkstra per lookup instead: slower, but the bit-identical
+        # contract always holds.
+        costs = index.link_cost_list
+        self.band_sharing = len(set(costs)) <= 1
+
+    def lookup(self, source: int, load: float) -> _TreeEntry:
+        """The shortest-path tree for ``(source, load)`` under current
+        residuals — cached when a memoized tree's band covers it.
+
+        Trees are shared across route loads inside one feasibility band.
+        That is provably exact when link traversal costs are uniform (the
+        built-in topologies: every tier costs 1.0/CU, so relaxation
+        comparisons are scale-invariant); for heterogeneous link costs an
+        *exact* mathematical cost tie between alternative paths could in
+        principle round differently at different loads — the
+        decision-equivalence suite pins the supported configurations.
+        """
+        bucket = self.entries.get(source)
+        if bucket is None:
+            bucket = self.entries[source] = []
+        residual = self.residual
+        log = residual.link_dirty_log
+        base = residual.link_dirty_base
+        rev = base + len(log)
+        link_residual = residual.link_residual
+        if self.band_sharing:
+            for i, entry in enumerate(bucket):
+                # Entries predating a log compaction (cursor < base)
+                # cannot delta-sweep; they fall to the exact re-anchor.
+                if (
+                    entry.cursor >= base
+                    and rev - entry.cursor <= self.MAX_DELTA
+                ):
+                    if entry.cursor != rev:
+                        entry.absorb_dirty(
+                            link_residual, log[entry.cursor - base:], rev
+                        )
+                    if entry.lo < load <= entry.hi:
+                        self.hits += 1
+                        if i:
+                            bucket.append(bucket.pop(i))
+                        return entry
+            # Conservative bands may have over-tightened (or an entry sat
+            # unused past the delta budget): re-anchor each on the exact
+            # current residuals — an exact band covering ``load``
+            # certifies the entry's feasibility vector, no elementwise
+            # compare needed.
+            link_array = self.residual.link_array()
+            for i, entry in enumerate(bucket):
+                entry.reset_band(link_array, rev)
+                if entry.lo < load <= entry.hi:
+                    bucket.append(bucket.pop(i))
+                    self.hits += 1
+                    return entry
+        else:
+            link_array = self.residual.link_array()
+        self.misses += 1
+        feasible = link_array >= load
+        index = self.index
+        order, parent_node, parent_link, _ = indexed_capacity_dijkstra(
+            index.adj, index.link_cost_list, source, load, feasible.tolist()
+        )
+        entry = _TreeEntry(
+            source, feasible, order, parent_node, parent_link,
+            index.link_cost_list,
+        )
+        entry.reset_band(link_array, rev)
+        bucket.append(entry)
+        if len(bucket) > MAX_TREES_PER_SOURCE:
+            bucket.pop(0)
+        return entry
+
+
+class GreedyContext:
+    """Per-algorithm state of the incremental GREEDYEMBED fast path.
+
+    Bundles the substrate index, the owning algorithm's residual state,
+    the per-application profiles and the memoized path trees. OLIVE and
+    its variants construct one next to their
+    :class:`~repro.core.residual.ResidualState` and route every greedy
+    fallback through :meth:`embed`.
+    """
+
+    def __init__(
+        self,
+        substrate: SubstrateNetwork,
+        efficiency: EfficiencyModel,
+        residual: ResidualState,
+    ) -> None:
+        self.substrate = substrate
+        self.efficiency = efficiency
+        self.residual = residual
+        self.index = residual.index
+        self.profiles = AppProfileCache(substrate, efficiency)
+        self.paths = PathCache(self.index, residual)
+
+    def embed(
+        self,
+        request: Request,
+        app: Application,
+        allow_split_groups: bool = True,
+    ):
+        """Least-cost feasible (near-)collocated embedding with its loads.
+
+        Returns ``(embedding, loads)`` — the loads are the exact
+        :func:`~repro.core.embedding.compute_loads` output the residual
+        check already materialized, so callers on the hot path skip a
+        second pass — or ``None`` when no feasible embedding exists.
+        """
+        profile = self.profiles.get(app)
+        if len(profile.groups) == 1:
+            return _single_host_embed(self, request, app, profile)
+        if not allow_split_groups or len(profile.groups) != 2:
+            return None
+        return _two_host_embed(self, request, app, profile)
 
 
 def greedy_embed(
@@ -34,118 +311,129 @@ def greedy_embed(
     efficiency: EfficiencyModel,
     residual: ResidualState,
     allow_split_groups: bool = True,
+    context: GreedyContext | None = None,
 ) -> Embedding | None:
-    """Find the least-cost feasible (near-)collocated embedding, or None."""
-    groups = _placement_groups(app)
-    if len(groups) == 1:
-        return _single_host_embed(request, app, substrate, efficiency, residual)
-    if not allow_split_groups or len(groups) != 2:
-        return None
-    return _two_host_embed(
-        request, app, substrate, efficiency, residual, groups
-    )
+    """Find the least-cost feasible (near-)collocated embedding, or None.
 
-
-def _placement_groups(app: Application) -> dict[str, list[int]]:
-    """Partition non-root VNFs into placement-compatibility groups."""
-    groups: dict[str, list[int]] = {}
-    for vnf in app.non_root_vnfs():
-        key = "gpu" if vnf.kind is VNFKind.GPU else "generic"
-        groups.setdefault(key, []).append(vnf.id)
-    return groups
-
-
-def _group_node_load(
-    app: Application,
-    vnf_ids: list[int],
-    demand: float,
-    node_attrs,
-    efficiency: EfficiencyModel,
-) -> float | None:
-    """Combined node load of a VNF group on one datacenter, or None."""
-    total = 0.0
-    for vnf_id in vnf_ids:
-        vnf = app.vnf(vnf_id)
-        eta = efficiency.node_eta(vnf, node_attrs)
-        if eta is None:
-            return None
-        total += demand * vnf.size * eta
-    return total
-
-
-def _route_dijkstra(
-    substrate: SubstrateNetwork,
-    residual: ResidualState,
-    source: NodeId,
-    link_load: float,
-):
-    """Min-cost paths from ``source`` using links with enough residual.
-
-    Link traversal cost is ``link_load × cost(link)`` — the per-slot price
-    of carrying the crossing virtual links over that substrate link.
+    Standalone calls build a transient :class:`GreedyContext`; callers on
+    the hot path (OLIVE) keep one alive across requests so the profile
+    and path caches amortize.
     """
-    return capacity_constrained_dijkstra(
-        substrate.adjacency,
-        source,
-        link_weight=lambda l: link_load * substrate.link_cost(l),
-        link_feasible=lambda l: residual.links[l] >= link_load,
-    )
+    if context is None:
+        context = GreedyContext(substrate, efficiency, residual)
+    result = context.embed(request, app, allow_split_groups)
+    return None if result is None else result[0]
 
 
 def _single_host_embed(
+    ctx: GreedyContext,
     request: Request,
     app: Application,
-    substrate: SubstrateNetwork,
-    efficiency: EfficiencyModel,
-    residual: ResidualState,
-) -> Embedding | None:
+    profile: AppProfile,
+):
     """The paper's GREEDYEMBED: all VNFs on one node, min resource cost."""
-    vnf_ids = [vnf.id for vnf in app.non_root_vnfs()]
-    root_links = app.children_links(ROOT_ID)
-    route_load = request.demand * sum(link.size for link in root_links)
+    index = ctx.index
+    residual = ctx.residual
+    route_load = request.demand * profile.root_link_size_sum
+    source = index.node_index[request.ingress]
+    tree = ctx.paths.lookup(source, route_load)
+    dist = tree.distances(index.num_nodes, route_load)
 
-    dist, parent = _route_dijkstra(
-        substrate, residual, request.ingress, route_load
+    node_load = profile.group_load("all", request.demand)
+    if isinstance(node_load, float):
+        # Scalar η case: the host scan stays in native floats. Visiting
+        # reached nodes in index order reproduces the reference scan's
+        # first-strict-minimum tie-breaking exactly.
+        node_residual = residual.node_residual
+        node_costs = index.node_cost_list
+        best_cost = math.inf
+        host_idx = -1
+        for v in tree.scan_nodes:
+            if node_load > node_residual[v]:
+                continue
+            cost = node_load * node_costs[v] + dist[v]
+            if cost < best_cost:
+                best_cost = cost
+                host_idx = v
+        if host_idx < 0:
+            return None
+    else:
+        dist_array = np.array(dist)
+        with np.errstate(invalid="ignore"):
+            candidates = (
+                (node_load <= residual.node_array())
+                & np.isfinite(dist_array)
+            )
+        if not candidates.any():
+            return None
+        cost = node_load * index.node_cost + dist_array
+        cost[~candidates] = math.inf
+        host_idx = int(np.argmin(cost))
+    host = index.node_ids[host_idx]
+    path, positions = tree.path_to(host_idx, index.link_ids)
+    loads = _collocated_loads(
+        profile, request.demand, host_idx, host, positions, index.link_ids
     )
-    best: tuple[float, NodeId] | None = None
-    for v, attrs in substrate.nodes.items():
-        if v not in dist:
-            continue
-        node_load = _group_node_load(
-            app, vnf_ids, request.demand, attrs, efficiency
-        )
-        if node_load is None or node_load > residual.nodes[v]:
-            continue
-        cost = node_load * attrs.cost + dist[v]
-        if best is None or cost < best[0]:
-            best = (cost, v)
-    if best is None:
-        return None
-    host = best[1]
-    path = tuple(path_links(parent, request.ingress, host) or ())
+    if not residual.fits(loads):
+        return None  # node+path loads can interact at the host
     node_map = {ROOT_ID: request.ingress}
-    node_map.update({vnf_id: host for vnf_id in vnf_ids})
+    node_map.update({vnf_id: host for vnf_id in profile.vnf_ids})
     link_paths = {}
     for vlink in app.links:
         if vlink.tail == ROOT_ID:
             link_paths[vlink.key] = path
         else:
             link_paths[vlink.key] = ()
-    embedding = Embedding(node_map=node_map, link_paths=link_paths)
-    loads = compute_loads(app, request.demand, embedding, substrate, efficiency)
-    if not residual.fits(loads):
-        return None  # node+path loads can interact at the host
-    return embedding
+    return Embedding(node_map=node_map, link_paths=link_paths), loads
+
+
+def _collocated_loads(
+    profile: AppProfile,
+    demand: float,
+    host_idx: int,
+    host,
+    positions: list[int],
+    link_ids,
+) -> ElementLoads:
+    """Eq. 1 loads of a single-host embedding, without the generic walk.
+
+    Element order, accumulation order and arithmetic replicate
+    :func:`~repro.core.embedding.compute_loads` on the equivalent
+    embedding exactly: VNFs land on the host in application order, and
+    only θ-adjacent virtual links (in application link order) traverse
+    the ingress→host path.
+    """
+    loads = ElementLoads()
+    nodes = loads.nodes
+    for size, etas in profile.node_terms:
+        load = demand * size * etas[host_idx]
+        if load > 0:
+            nodes[host] = nodes.get(host, 0.0) + load
+    links = loads.links
+    for size, etas in profile.root_link_terms:
+        for position in positions:
+            load = demand * size * etas[position]
+            if load > 0:
+                link = link_ids[position]
+                links[link] = links.get(link, 0.0) + load
+    return loads
+
+
+def _feasible_hosts(load_row, node_array) -> list[tuple[int, float]]:
+    """Host candidates ``(node_idx, load)`` in node order."""
+    with np.errstate(invalid="ignore"):
+        mask = load_row <= node_array
+    if isinstance(load_row, float):
+        return [(int(i), load_row) for i in np.nonzero(mask)[0]]
+    return [(int(i), float(load_row[i])) for i in np.nonzero(mask)[0]]
 
 
 def _two_host_embed(
+    ctx: GreedyContext,
     request: Request,
     app: Application,
-    substrate: SubstrateNetwork,
-    efficiency: EfficiencyModel,
-    residual: ResidualState,
-    groups: dict[str, list[int]],
-) -> Embedding | None:
+    profile: AppProfile,
+):
     """Generalized greedy for two placement groups (GPU scenario).
 
     Collocates the generic group on host ``v`` and the GPU group on host
@@ -154,8 +442,11 @@ def _two_host_embed(
     node set is small — and the cheapest pair passing the exact residual
     check wins.
     """
-    generic_ids = set(groups.get("generic", ()))
-    gpu_ids = set(groups.get("gpu", ()))
+    index = ctx.index
+    residual = ctx.residual
+    demand = request.demand
+    generic_ids = set(profile.groups.get("generic", ()))
+    gpu_ids = set(profile.groups.get("gpu", ()))
 
     def host_group(vnf_id: int) -> str:
         if vnf_id == ROOT_ID:
@@ -163,17 +454,8 @@ def _two_host_embed(
         return "gpu" if vnf_id in gpu_ids else "generic"
 
     # Combined crossing load per host-group pair drives routing feasibility.
-    pair_load: dict[tuple[str, str], float] = {}
-    pairs_present: set[tuple[str, str]] = set()
-    for vlink in app.links:
-        pair = tuple(sorted((host_group(vlink.tail), host_group(vlink.head))))
-        if pair[0] == pair[1]:
-            continue
-        pairs_present.add(pair)
-        pair_load[pair] = (
-            pair_load.get(pair, 0.0) + request.demand * vlink.size
-        )
-
+    pair_load = profile.pair_loads(demand)
+    pairs_present = profile.pairs_present
     root_generic = pair_load.get(("generic", "root"), 0.0)
     root_gpu = pair_load.get(("gpu", "root"), 0.0)
     cross = pair_load.get(("generic", "gpu"), 0.0)
@@ -181,57 +463,56 @@ def _two_host_embed(
     need_root_gpu = ("gpu", "root") in pairs_present
     need_cross = ("generic", "gpu") in pairs_present
 
-    dist_v, parent_v = _route_dijkstra(
-        substrate, residual, request.ingress, root_generic
-    )
-    dist_w, parent_w = _route_dijkstra(
-        substrate, residual, request.ingress, root_gpu
-    )
+    source = index.node_index[request.ingress]
+    tree_v = ctx.paths.lookup(source, root_generic)
+    tree_w = ctx.paths.lookup(source, root_gpu)
+    dist_v = tree_v.distances(index.num_nodes, root_generic)
+    dist_w = tree_w.distances(index.num_nodes, root_gpu)
 
-    generic_hosts: list[tuple[NodeId, float]] = []
-    gpu_hosts: list[tuple[NodeId, float]] = []
-    for node, attrs in substrate.nodes.items():
-        load = _group_node_load(
-            app, sorted(generic_ids), request.demand, attrs, efficiency
-        )
-        if load is not None and load <= residual.nodes[node]:
-            generic_hosts.append((node, load))
-        load = _group_node_load(
-            app, sorted(gpu_ids), request.demand, attrs, efficiency
-        )
-        if load is not None and load <= residual.nodes[node]:
-            gpu_hosts.append((node, load))
+    node_array = residual.node_array()
+    generic_hosts = _feasible_hosts(
+        profile.group_load("generic", demand), node_array
+    )
+    gpu_hosts = _feasible_hosts(
+        profile.group_load("gpu", demand), node_array
+    )
     if not generic_hosts or not gpu_hosts:
         return None
 
-    # One Dijkstra per GPU host candidate covers all v→w pair paths.
-    gpu_paths = {
-        w: _route_dijkstra(substrate, residual, w, cross) for w, _ in gpu_hosts
+    # One cached tree per GPU host candidate covers all v→w pair paths.
+    gpu_trees = {w: ctx.paths.lookup(w, cross) for w, _ in gpu_hosts}
+    gpu_dists = {
+        w: tree.distances(index.num_nodes, cross)
+        for w, tree in gpu_trees.items()
     }
 
-    best: tuple[float, Embedding] | None = None
+    node_cost = index.node_cost
+    inf = math.inf
+    best: tuple[float, Embedding, object] | None = None
     for (v, v_load), (w, w_load) in itertools.product(generic_hosts, gpu_hosts):
-        cost = v_load * substrate.node_cost(v) + w_load * substrate.node_cost(w)
+        cost = v_load * node_cost[v] + w_load * node_cost[w]
         if need_root_generic:
-            if v not in dist_v:
+            if dist_v[v] == inf:
                 continue
             cost += dist_v[v]
         if need_root_gpu:
-            if w not in dist_w:
+            if dist_w[w] == inf:
                 continue
             cost += dist_w[w]
-        dist_cross, parent_cross = gpu_paths[w]
+        dist_cross = gpu_dists[w]
         if need_cross:
-            if v not in dist_cross:
+            if dist_cross[v] == inf:
                 continue
             cost += dist_cross[v]
         if best is not None and cost >= best[0]:
             continue
 
-        hosts = {"root": request.ingress, "generic": v, "gpu": w}
+        v_id = index.node_ids[v]
+        w_id = index.node_ids[w]
+        hosts = {"root": request.ingress, "generic": v_id, "gpu": w_id}
         node_map = {ROOT_ID: request.ingress}
-        node_map.update({i: v for i in generic_ids})
-        node_map.update({i: w for i in gpu_ids})
+        node_map.update({i: v_id for i in generic_ids})
+        node_map.update({i: w_id for i in gpu_ids})
         link_paths = {}
         feasible = True
         for vlink in app.links:
@@ -242,21 +523,27 @@ def _two_host_embed(
                 continue
             pair = tuple(sorted((group_a, group_b)))
             if pair == ("generic", "root"):
-                links = path_links(parent_v, request.ingress, v)
+                if dist_v[v] == inf:
+                    feasible = False
+                    break
+                links, _ = tree_v.path_to(v, index.link_ids)
             elif pair == ("gpu", "root"):
-                links = path_links(parent_w, request.ingress, w)
+                if dist_w[w] == inf:
+                    feasible = False
+                    break
+                links, _ = tree_w.path_to(w, index.link_ids)
             else:
-                links = path_links(parent_cross, w, v)
-            if links is None:
-                feasible = False
-                break
-            link_paths[vlink.key] = tuple(links)
+                if dist_cross[v] == inf:
+                    feasible = False
+                    break
+                links, _ = gpu_trees[w].path_to(v, index.link_ids)
+            link_paths[vlink.key] = links
         if not feasible:
             continue
         embedding = Embedding(node_map=node_map, link_paths=link_paths)
         loads = compute_loads(
-            app, request.demand, embedding, substrate, efficiency
+            app, demand, embedding, ctx.substrate, ctx.efficiency
         )
         if residual.fits(loads):
-            best = (cost, embedding)
-    return best[1] if best else None
+            best = (cost, embedding, loads)
+    return (best[1], best[2]) if best else None

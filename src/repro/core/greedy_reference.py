@@ -1,0 +1,258 @@
+"""Reference GREEDYEMBED: the pre-fast-path scalar implementation.
+
+This module is a frozen copy of the original per-request implementation of
+Algorithm 2's GREEDYEMBED (full Dijkstra from the ingress plus an O(nodes)
+candidate scan per request). It exists for one purpose: the decision-
+equivalence tests drive whole simulations through it and assert that the
+incremental fast path in :mod:`repro.core.greedy` produces bit-identical
+:class:`~repro.sim.engine.SimulationResult` values. Do not optimize this
+module — its value is that it stays simple and obviously faithful to
+Algorithm 2 (lines 31-34).
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from repro.apps.application import ROOT_ID, Application, VNFKind
+from repro.apps.efficiency import EfficiencyModel
+from repro.core.embedding import Embedding, compute_loads
+from repro.core.residual import ResidualState
+from repro.substrate.network import NodeId, SubstrateNetwork
+from repro.utils.paths import capacity_constrained_dijkstra, path_links
+from repro.workload.request import Request
+
+
+def greedy_embed(
+    request: Request,
+    app: Application,
+    substrate: SubstrateNetwork,
+    efficiency: EfficiencyModel,
+    residual: ResidualState,
+    allow_split_groups: bool = True,
+) -> Embedding | None:
+    """Find the least-cost feasible (near-)collocated embedding, or None."""
+    groups = _placement_groups(app)
+    if len(groups) == 1:
+        return _single_host_embed(request, app, substrate, efficiency, residual)
+    if not allow_split_groups or len(groups) != 2:
+        return None
+    return _two_host_embed(
+        request, app, substrate, efficiency, residual, groups
+    )
+
+
+def _placement_groups(app: Application) -> dict[str, list[int]]:
+    """Partition non-root VNFs into placement-compatibility groups."""
+    groups: dict[str, list[int]] = {}
+    for vnf in app.non_root_vnfs():
+        key = "gpu" if vnf.kind is VNFKind.GPU else "generic"
+        groups.setdefault(key, []).append(vnf.id)
+    return groups
+
+
+def _group_node_load(
+    app: Application,
+    vnf_ids: list[int],
+    demand: float,
+    node_attrs,
+    efficiency: EfficiencyModel,
+) -> float | None:
+    """Combined node load of a VNF group on one datacenter, or None."""
+    total = 0.0
+    for vnf_id in vnf_ids:
+        vnf = app.vnf(vnf_id)
+        eta = efficiency.node_eta(vnf, node_attrs)
+        if eta is None:
+            return None
+        total += demand * vnf.size * eta
+    return total
+
+
+def _route_dijkstra(
+    substrate: SubstrateNetwork,
+    residual: ResidualState,
+    source: NodeId,
+    link_load: float,
+):
+    """Min-cost paths from ``source`` using links with enough residual.
+
+    Link traversal cost is ``link_load × cost(link)`` — the per-slot price
+    of carrying the crossing virtual links over that substrate link.
+    """
+    return capacity_constrained_dijkstra(
+        substrate.adjacency,
+        source,
+        link_weight=lambda l: link_load * substrate.link_cost(l),
+        link_feasible=lambda l: residual.links[l] >= link_load,
+    )
+
+
+def _single_host_embed(
+    request: Request,
+    app: Application,
+    substrate: SubstrateNetwork,
+    efficiency: EfficiencyModel,
+    residual: ResidualState,
+) -> Embedding | None:
+    """The paper's GREEDYEMBED: all VNFs on one node, min resource cost."""
+    vnf_ids = [vnf.id for vnf in app.non_root_vnfs()]
+    root_links = app.children_links(ROOT_ID)
+    route_load = request.demand * sum(link.size for link in root_links)
+
+    dist, parent = _route_dijkstra(
+        substrate, residual, request.ingress, route_load
+    )
+    best: tuple[float, NodeId] | None = None
+    for v, attrs in substrate.nodes.items():
+        if v not in dist:
+            continue
+        node_load = _group_node_load(
+            app, vnf_ids, request.demand, attrs, efficiency
+        )
+        if node_load is None or node_load > residual.nodes[v]:
+            continue
+        cost = node_load * attrs.cost + dist[v]
+        if best is None or cost < best[0]:
+            best = (cost, v)
+    if best is None:
+        return None
+    host = best[1]
+    path = tuple(path_links(parent, request.ingress, host) or ())
+    node_map = {ROOT_ID: request.ingress}
+    node_map.update({vnf_id: host for vnf_id in vnf_ids})
+    link_paths = {}
+    for vlink in app.links:
+        if vlink.tail == ROOT_ID:
+            link_paths[vlink.key] = path
+        else:
+            link_paths[vlink.key] = ()
+    embedding = Embedding(node_map=node_map, link_paths=link_paths)
+    loads = compute_loads(app, request.demand, embedding, substrate, efficiency)
+    if not residual.fits(loads):
+        return None  # node+path loads can interact at the host
+    return embedding
+
+
+def _two_host_embed(
+    request: Request,
+    app: Application,
+    substrate: SubstrateNetwork,
+    efficiency: EfficiencyModel,
+    residual: ResidualState,
+    groups: dict[str, list[int]],
+) -> Embedding | None:
+    """Generalized greedy for two placement groups (GPU scenario).
+
+    Collocates the generic group on host ``v`` and the GPU group on host
+    ``w``, then routes each virtual link between the hosts of its
+    endpoints. Candidate (v, w) pairs are evaluated exhaustively — the GPU
+    node set is small — and the cheapest pair passing the exact residual
+    check wins.
+    """
+    generic_ids = set(groups.get("generic", ()))
+    gpu_ids = set(groups.get("gpu", ()))
+
+    def host_group(vnf_id: int) -> str:
+        if vnf_id == ROOT_ID:
+            return "root"
+        return "gpu" if vnf_id in gpu_ids else "generic"
+
+    # Combined crossing load per host-group pair drives routing feasibility.
+    pair_load: dict[tuple[str, str], float] = {}
+    pairs_present: set[tuple[str, str]] = set()
+    for vlink in app.links:
+        pair = tuple(sorted((host_group(vlink.tail), host_group(vlink.head))))
+        if pair[0] == pair[1]:
+            continue
+        pairs_present.add(pair)
+        pair_load[pair] = (
+            pair_load.get(pair, 0.0) + request.demand * vlink.size
+        )
+
+    root_generic = pair_load.get(("generic", "root"), 0.0)
+    root_gpu = pair_load.get(("gpu", "root"), 0.0)
+    cross = pair_load.get(("generic", "gpu"), 0.0)
+    need_root_generic = ("generic", "root") in pairs_present
+    need_root_gpu = ("gpu", "root") in pairs_present
+    need_cross = ("generic", "gpu") in pairs_present
+
+    dist_v, parent_v = _route_dijkstra(
+        substrate, residual, request.ingress, root_generic
+    )
+    dist_w, parent_w = _route_dijkstra(
+        substrate, residual, request.ingress, root_gpu
+    )
+
+    generic_hosts: list[tuple[NodeId, float]] = []
+    gpu_hosts: list[tuple[NodeId, float]] = []
+    for node, attrs in substrate.nodes.items():
+        load = _group_node_load(
+            app, sorted(generic_ids), request.demand, attrs, efficiency
+        )
+        if load is not None and load <= residual.nodes[node]:
+            generic_hosts.append((node, load))
+        load = _group_node_load(
+            app, sorted(gpu_ids), request.demand, attrs, efficiency
+        )
+        if load is not None and load <= residual.nodes[node]:
+            gpu_hosts.append((node, load))
+    if not generic_hosts or not gpu_hosts:
+        return None
+
+    # One Dijkstra per GPU host candidate covers all v→w pair paths.
+    gpu_paths = {
+        w: _route_dijkstra(substrate, residual, w, cross) for w, _ in gpu_hosts
+    }
+
+    best: tuple[float, Embedding] | None = None
+    for (v, v_load), (w, w_load) in itertools.product(generic_hosts, gpu_hosts):
+        cost = v_load * substrate.node_cost(v) + w_load * substrate.node_cost(w)
+        if need_root_generic:
+            if v not in dist_v:
+                continue
+            cost += dist_v[v]
+        if need_root_gpu:
+            if w not in dist_w:
+                continue
+            cost += dist_w[w]
+        dist_cross, parent_cross = gpu_paths[w]
+        if need_cross:
+            if v not in dist_cross:
+                continue
+            cost += dist_cross[v]
+        if best is not None and cost >= best[0]:
+            continue
+
+        hosts = {"root": request.ingress, "generic": v, "gpu": w}
+        node_map = {ROOT_ID: request.ingress}
+        node_map.update({i: v for i in generic_ids})
+        node_map.update({i: w for i in gpu_ids})
+        link_paths = {}
+        feasible = True
+        for vlink in app.links:
+            group_a = host_group(vlink.tail)
+            group_b = host_group(vlink.head)
+            if hosts[group_a] == hosts[group_b]:
+                link_paths[vlink.key] = ()
+                continue
+            pair = tuple(sorted((group_a, group_b)))
+            if pair == ("generic", "root"):
+                links = path_links(parent_v, request.ingress, v)
+            elif pair == ("gpu", "root"):
+                links = path_links(parent_w, request.ingress, w)
+            else:
+                links = path_links(parent_cross, w, v)
+            if links is None:
+                feasible = False
+                break
+            link_paths[vlink.key] = tuple(links)
+        if not feasible:
+            continue
+        embedding = Embedding(node_map=node_map, link_paths=link_paths)
+        loads = compute_loads(
+            app, request.demand, embedding, substrate, efficiency
+        )
+        if residual.fits(loads):
+            best = (cost, embedding)
+    return best[1] if best else None

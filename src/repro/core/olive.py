@@ -29,8 +29,10 @@ from dataclasses import dataclass, field
 
 from repro.apps.application import Application
 from repro.apps.efficiency import EfficiencyModel, UniformEfficiency
+from repro.core import greedy_reference
 from repro.core.embedding import Embedding, ElementLoads, compute_loads
-from repro.core.greedy import greedy_embed
+from repro.core.greedy import GreedyContext
+from repro.core.profile import LoadsRecipe
 from repro.core.residual import EPSILON, PlanResidual, ResidualState
 from repro.errors import SimulationError
 from repro.plan.pattern import Plan
@@ -83,6 +85,7 @@ class OliveAlgorithm:
         enable_borrowing: bool = True,
         allow_split_greedy: bool = True,
         name: str | None = None,
+        use_fast_greedy: bool = True,
     ) -> None:
         self.substrate = substrate
         self.apps = apps
@@ -95,6 +98,22 @@ class OliveAlgorithm:
         self.residual = ResidualState(substrate)
         self.plan_residual = PlanResidual(plan)
         self.active: dict[int, _ActiveAllocation] = {}
+        #: Incremental GREEDYEMBED state (profiles + memoized path trees);
+        #: ``use_fast_greedy=False`` routes through the scalar reference
+        #: instead — the decision-equivalence tests compare the two.
+        self.greedy_context = (
+            GreedyContext(substrate, self.efficiency, self.residual)
+            if use_fast_greedy
+            else None
+        )
+        #: Precompiled per-pattern load computations (plan patterns are
+        #: re-embedded verbatim; only the demand factor varies).
+        self._pattern_recipes: dict[int, tuple[object, LoadsRecipe]] = {}
+        # Mirrors of the active table for the per-slot introspection
+        # sums; same keys in the same insertion order as ``active``, so
+        # the sums accumulate bit-identically to iterating it.
+        self._active_demands: dict[int, float] = {}
+        self._active_costs: dict[int, float] = {}
 
     def switch_plan(self, plan: Plan) -> None:
         """Replace the embedding plan mid-run (time-windowed planning).
@@ -107,6 +126,7 @@ class OliveAlgorithm:
         """
         self.plan = plan
         self.plan_residual = PlanResidual(plan)
+        self._pattern_recipes.clear()
         for allocation in self.active.values():
             allocation.planned = False
             allocation.pattern_index = None
@@ -122,6 +142,8 @@ class OliveAlgorithm:
         allocation = self.active.pop(request.id, None)
         if allocation is None:
             return
+        del self._active_demands[request.id]
+        del self._active_costs[request.id]
         self.residual.release(allocation.loads)
         if allocation.planned:
             self.plan_residual.release(
@@ -150,22 +172,20 @@ class OliveAlgorithm:
         if class_plan is not None:
             index = self.plan_residual.find_full_fit(class_key, request.demand)
             if index is not None:
-                embedding = Embedding.from_pattern(class_plan.patterns[index])
-                loads = compute_loads(
-                    app, request.demand, embedding, self.substrate,
-                    self.efficiency,
+                pattern = class_plan.patterns[index]
+                embedding = Embedding.from_pattern(pattern)
+                loads = self._pattern_loads(
+                    pattern, app, embedding, request.demand
                 )
                 planned = True
                 pattern_index = index
             elif self.enable_borrowing:
                 index = self.plan_residual.find_partial_fit(class_key)
                 if index is not None:
-                    candidate = Embedding.from_pattern(
-                        class_plan.patterns[index]
-                    )
-                    candidate_loads = compute_loads(
-                        app, request.demand, candidate, self.substrate,
-                        self.efficiency,
+                    pattern = class_plan.patterns[index]
+                    candidate = Embedding.from_pattern(pattern)
+                    candidate_loads = self._pattern_loads(
+                        pattern, app, candidate, request.demand
                     )
                     if self.residual.fits(candidate_loads):
                         embedding, loads = candidate, candidate_loads
@@ -182,20 +202,35 @@ class OliveAlgorithm:
                 preempted = freed
 
         if embedding is None:
-            embedding = greedy_embed(
-                request, app, self.substrate, self.efficiency, self.residual,
-                allow_split_groups=self.allow_split_greedy,
-            )
-            if embedding is not None:
-                loads = compute_loads(
-                    app, request.demand, embedding, self.substrate,
-                    self.efficiency,
+            if self.greedy_context is not None:
+                # The fast path hands back the loads its residual check
+                # already materialized, saving a second compute_loads.
+                greedy_result = self.greedy_context.embed(
+                    request, app, allow_split_groups=self.allow_split_greedy
                 )
-                return self._allocate(
-                    request, app, embedding, loads, planned=False,
-                    borrowed=False, via_greedy=True,
-                    pattern_index=None, preempted=preempted,
+                if greedy_result is not None:
+                    embedding, loads = greedy_result
+                    return self._allocate(
+                        request, app, embedding, loads, planned=False,
+                        borrowed=False, via_greedy=True,
+                        pattern_index=None, preempted=preempted,
+                    )
+            else:
+                embedding = greedy_reference.greedy_embed(
+                    request, app, self.substrate, self.efficiency,
+                    self.residual,
+                    allow_split_groups=self.allow_split_greedy,
                 )
+                if embedding is not None:
+                    loads = compute_loads(
+                        app, request.demand, embedding, self.substrate,
+                        self.efficiency,
+                    )
+                    return self._allocate(
+                        request, app, embedding, loads, planned=False,
+                        borrowed=False, via_greedy=True,
+                        pattern_index=None, preempted=preempted,
+                    )
             return Decision(
                 request=request, accepted=False, preempted=tuple(preempted)
             )
@@ -207,6 +242,33 @@ class OliveAlgorithm:
         )
 
     # -- internals ----------------------------------------------------------
+
+    def _pattern_loads(
+        self,
+        pattern,
+        app: Application,
+        embedding: Embedding,
+        demand: float,
+    ) -> ElementLoads:
+        """Loads of a plan-pattern embedding at ``demand``.
+
+        The fast path compiles one :class:`LoadsRecipe` per pattern; the
+        reference mode (``use_fast_greedy=False``) recomputes from
+        scratch — both produce bit-identical values.
+        """
+        if self.greedy_context is None:
+            return compute_loads(
+                app, demand, embedding, self.substrate, self.efficiency
+            )
+        entry = self._pattern_recipes.get(id(pattern))
+        if entry is None or entry[0] is not pattern:
+            recipe = LoadsRecipe(
+                app, embedding, self.substrate, self.efficiency
+            )
+            self._pattern_recipes[id(pattern)] = (pattern, recipe)
+        else:
+            recipe = entry[1]
+        return recipe.loads(demand)
 
     def _allocate(
         self,
@@ -236,6 +298,8 @@ class OliveAlgorithm:
             pattern_index=pattern_index,
             class_key=request.class_key(),
         )
+        self._active_demands[request.id] = request.demand
+        self._active_costs[request.id] = cost
         return Decision(
             request=request,
             accepted=True,
@@ -308,6 +372,8 @@ class OliveAlgorithm:
 
         for allocation in chosen:
             self.active.pop(allocation.request.id)
+            del self._active_demands[allocation.request.id]
+            del self._active_costs[allocation.request.id]
             self.residual.release(allocation.loads)
         return [allocation.request for allocation in chosen]
 
@@ -315,8 +381,8 @@ class OliveAlgorithm:
 
     def active_demand(self) -> float:
         """Total demand of currently embedded requests."""
-        return sum(a.request.demand for a in self.active.values())
+        return sum(self._active_demands.values())
 
     def active_cost_per_slot(self) -> float:
         """Σ_s load(s)·cost(s) of the current allocation (Eq. 3 inner sum)."""
-        return sum(a.cost_per_slot for a in self.active.values())
+        return sum(self._active_costs.values())

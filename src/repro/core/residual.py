@@ -14,74 +14,240 @@ which is precisely why they are preemptible later.
 
 from __future__ import annotations
 
+from collections.abc import MutableMapping
 from dataclasses import dataclass, field
+
+import numpy as np
 
 from repro.core.embedding import ElementLoads
 from repro.errors import SimulationError
 from repro.plan.pattern import Plan
 from repro.stats.aggregate import ClassKey
-from repro.substrate.network import LinkId, NodeId, SubstrateNetwork
+from repro.substrate.network import (
+    NodeId,
+    SubstrateNetwork,
+    substrate_index,
+)
 
 #: Tolerance for capacity comparisons, scaled to capacity magnitudes.
 EPSILON = 1e-6
 
 
+class _ArrayMapping(MutableMapping):
+    """Dict-compatible view over one position-indexed residual sequence.
+
+    Reads and writes go straight to the backing storage, so code that
+    predates the indexed backend (``residual.links[l] >= load``,
+    ``residual.nodes[v] = 15.0`` in tests) keeps working unchanged.
+    Writes count as residual changes: they bump the owner's revision so
+    the greedy path cache revalidates (see :class:`ResidualState`).
+    """
+
+    __slots__ = ("_index", "_array", "_keys", "_owner", "_kind")
+
+    def __init__(self, index, array, keys, owner, kind):
+        self._index = index
+        self._array = array
+        self._keys = keys
+        self._owner = owner
+        self._kind = kind
+
+    def __getitem__(self, key) -> float:
+        return self._array[self._index[key]]
+
+    def __setitem__(self, key, value) -> None:
+        position = self._index[key]
+        self._array[position] = value
+        self._owner._element_changed(self._kind, position)
+
+    def __delitem__(self, key) -> None:
+        raise SimulationError("residual elements cannot be removed")
+
+    def __iter__(self):
+        return iter(self._keys)
+
+    def __len__(self) -> int:
+        return len(self._keys)
+
+    def __contains__(self, key) -> bool:
+        return key in self._index
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, (dict, MutableMapping)):
+            return dict(self) == dict(other)
+        return NotImplemented
+
+    def __ne__(self, other) -> bool:
+        result = self.__eq__(other)
+        return result if result is NotImplemented else not result
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({dict(self)!r})"
+
+
 class ResidualState:
-    """Res(S, t, x): residual node and link capacities of the substrate."""
+    """Res(S, t, x): residual node and link capacities of the substrate.
+
+    Residuals live in two plain-Python lists indexed by
+    :class:`~repro.substrate.network.SubstrateIndex` positions (scalar
+    bookkeeping — allocate/release/fits on a handful of elements — is
+    faster on native floats than on numpy scalars); the vectorized greedy
+    fast path reads them through :meth:`node_array` / :meth:`link_array`,
+    lazily refreshed numpy snapshots. The ``nodes``/``links`` attributes
+    remain dict-compatible views for pre-array code and tests.
+
+    Every mutation of a link residual appends the touched position to
+    :attr:`link_dirty_log` (whose length is :attr:`link_rev`), which is
+    how the incremental greedy path cache (:mod:`repro.core.greedy`)
+    knows when a memoized shortest-path tree may be stale — and exactly
+    which links to re-examine.
+    """
 
     def __init__(self, substrate: SubstrateNetwork) -> None:
         self.substrate = substrate
-        self.nodes: dict[NodeId, float] = {
-            v: attrs.capacity for v, attrs in substrate.nodes.items()
-        }
-        self.links: dict[LinkId, float] = {
-            l: attrs.capacity for l, attrs in substrate.links.items()
-        }
+        self.index = substrate_index(substrate)
+        self.node_residual: list[float] = self.index.node_capacity.tolist()
+        self.link_residual: list[float] = self.index.link_capacity.tolist()
+        #: Log of link positions whose residual changed, in change order;
+        #: ``link_dirty_base + len(link_dirty_log)`` is the revision
+        #: counter. Consumers (the greedy path cache) remember the
+        #: absolute revision they have swept to, so several caches can
+        #: share one residual. The log's oldest half is dropped once it
+        #: exceeds a bound (long runs would otherwise grow it without
+        #: limit); a consumer whose cursor predates ``link_dirty_base``
+        #: must fall back to a full revalidation instead of a delta sweep.
+        self.link_dirty_log: list[int] = []
+        self.link_dirty_base = 0
+        #: Revision counter of node-residual changes (array-cache key).
+        self.node_rev = 0
+        self._node_array: "np.ndarray | None" = None
+        self._node_array_rev = -1
+        self._link_array: "np.ndarray | None" = None
+        self._link_array_rev = -1
+        self.nodes = _ArrayMapping(
+            self.index.node_index, self.node_residual,
+            self.index.node_ids, self, "node",
+        )
+        self.links = _ArrayMapping(
+            self.index.link_index, self.link_residual,
+            self.index.link_ids, self, "link",
+        )
+
+    #: Log length that triggers dropping the oldest half.
+    MAX_DIRTY_LOG = 65536
+
+    @property
+    def link_rev(self) -> int:
+        """Monotone revision counter of link-residual changes."""
+        return self.link_dirty_base + len(self.link_dirty_log)
+
+    def _compact_dirty_log(self) -> None:
+        drop = len(self.link_dirty_log) // 2
+        self.link_dirty_log = self.link_dirty_log[drop:]
+        self.link_dirty_base += drop
+
+    def _element_changed(self, kind: str, position: int) -> None:
+        if kind == "link":
+            self.link_dirty_log.append(position)
+            if len(self.link_dirty_log) > self.MAX_DIRTY_LOG:
+                self._compact_dirty_log()
+        else:
+            self.node_rev += 1
+
+    def node_array(self) -> "np.ndarray":
+        """Current node residuals as a numpy snapshot (do not mutate)."""
+        if self._node_array_rev != self.node_rev:
+            self._node_array = np.array(self.node_residual)
+            self._node_array_rev = self.node_rev
+        return self._node_array
+
+    def link_array(self) -> "np.ndarray":
+        """Current link residuals as a numpy snapshot (do not mutate)."""
+        rev = self.link_rev
+        if self._link_array_rev != rev:
+            self._link_array = np.array(self.link_residual)
+            self._link_array_rev = rev
+        return self._link_array
 
     def fits(self, loads: ElementLoads) -> bool:
         """Eq. 18: can these loads be added without violating capacity?"""
+        node_index = self.index.node_index
+        node_residual = self.node_residual
         for node, load in loads.nodes.items():
-            if load > self.nodes[node] + EPSILON:
+            if load > node_residual[node_index[node]] + EPSILON:
                 return False
+        link_index = self.index.link_index
+        link_residual = self.link_residual
         for link, load in loads.links.items():
-            if load > self.links[link] + EPSILON:
+            if load > link_residual[link_index[link]] + EPSILON:
                 return False
         return True
 
     def shortfall(self, loads: ElementLoads) -> ElementLoads:
         """How much capacity is missing per element for these loads."""
         missing = ElementLoads()
+        node_index = self.index.node_index
         for node, load in loads.nodes.items():
-            gap = load - self.nodes[node]
+            gap = load - self.node_residual[node_index[node]]
             if gap > EPSILON:
                 missing.nodes[node] = gap
+        link_index = self.index.link_index
         for link, load in loads.links.items():
-            gap = load - self.links[link]
+            gap = load - self.link_residual[link_index[link]]
             if gap > EPSILON:
                 missing.links[link] = gap
         return missing
 
     def allocate(self, loads: ElementLoads) -> None:
         """Consume capacity; negative residuals (beyond ε) are a bug."""
+        node_index = self.index.node_index
+        node_residual = self.node_residual
         for node, load in loads.nodes.items():
-            self.nodes[node] -= load
-            if self.nodes[node] < -EPSILON * max(1.0, load):
+            position = node_index[node]
+            value = node_residual[position] - load
+            node_residual[position] = value
+            # The threshold is negative, so value >= 0 can never trip it;
+            # branching on the sign first keeps the common path cheap.
+            if value < 0.0 and value < -EPSILON * (load if load > 1.0 else 1.0):
                 raise SimulationError(f"node {node!r} residual went negative")
+        if loads.nodes:
+            self.node_rev += 1
+        link_index = self.index.link_index
+        link_residual = self.link_residual
+        dirty = self.link_dirty_log
         for link, load in loads.links.items():
-            self.links[link] -= load
-            if self.links[link] < -EPSILON * max(1.0, load):
+            position = link_index[link]
+            value = link_residual[position] - load
+            link_residual[position] = value
+            if value < 0.0 and value < -EPSILON * (load if load > 1.0 else 1.0):
                 raise SimulationError(f"link {link!r} residual went negative")
+            dirty.append(position)
+        if len(dirty) > self.MAX_DIRTY_LOG:
+            self._compact_dirty_log()
 
     def release(self, loads: ElementLoads) -> None:
         """Return capacity on request departure or preemption."""
+        node_index = self.index.node_index
+        node_residual = self.node_residual
         for node, load in loads.nodes.items():
-            self.nodes[node] += load
+            node_residual[node_index[node]] += load
+        if loads.nodes:
+            self.node_rev += 1
+        link_index = self.index.link_index
+        link_residual = self.link_residual
+        dirty = self.link_dirty_log
         for link, load in loads.links.items():
-            self.links[link] += load
+            position = link_index[link]
+            link_residual[position] += load
+            dirty.append(position)
+        if len(dirty) > self.MAX_DIRTY_LOG:
+            self._compact_dirty_log()
 
     def node_utilization(self, node: NodeId) -> float:
         capacity = self.substrate.node_capacity(node)
-        return 1.0 - self.nodes[node] / capacity if capacity > 0 else 0.0
+        if capacity <= 0:
+            return 0.0
+        return 1.0 - self.node_residual[self.index.node_index[node]] / capacity
 
 
 @dataclass

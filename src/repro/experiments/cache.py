@@ -53,7 +53,18 @@ def _jsonable(value):
     if dataclasses.is_dataclass(value) and not isinstance(value, type):
         return _jsonable(dataclasses.asdict(value))
     if isinstance(value, Mapping):
-        return {str(k): _jsonable(v) for k, v in sorted(value.items())}
+        # Sort by the stringified key: mixed key types (int vs str) are
+        # not mutually comparable, but their string forms always are.
+        items = sorted(value.items(), key=lambda item: str(item[0]))
+        result = {str(k): _jsonable(v) for k, v in items}
+        if len(result) != len(value):
+            # Two distinct keys collapsed to one string (e.g. 1 and "1"):
+            # silently merging them would alias different cache keys.
+            raise SimulationError(
+                "cache keys must stringify uniquely; got colliding keys in "
+                f"{sorted(str(k) for k in value)}"
+            )
+        return result
     if isinstance(value, (list, tuple)):
         return [_jsonable(v) for v in value]
     if isinstance(value, (str, int, float, bool)) or value is None:
@@ -162,13 +173,22 @@ class ResultCache:
             )
 
     def clear(self) -> int:
-        """Delete every cached entry; returns how many were removed."""
+        """Delete every cached entry; returns how many were removed.
+
+        Also sweeps ``*.tmp*`` droppings: :meth:`put` stages writes under
+        a per-process temp name before the atomic rename, so a writer
+        crashing mid-write leaks its temp file — without the sweep those
+        would accumulate forever. Leaked temps are removed but not
+        counted (they were never readable entries).
+        """
         removed = 0
         if not self.root.exists():
             return removed
         for entry in self.root.rglob("*.json"):
             entry.unlink(missing_ok=True)
             removed += 1
+        for leak in self.root.rglob("*.tmp*"):
+            leak.unlink(missing_ok=True)
         return removed
 
     def __len__(self) -> int:

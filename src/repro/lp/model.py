@@ -119,15 +119,14 @@ class LinearProgram:
 
         ``terms`` may repeat a variable; repeated coefficients accumulate.
         """
-        if isinstance(terms, dict):
-            pairs = list(terms.items())
-        else:
-            pairs = list(terms)
+        pairs = terms.items() if isinstance(terms, dict) else terms
         merged: dict[int, float] = {}
+        merged_get = merged.get
+        num_variables = len(self._lower)
         for variable, coefficient in pairs:
-            if not 0 <= variable < self.num_variables:
+            if not 0 <= variable < num_variables:
                 raise LPError(f"constraint {name!r}: unknown variable {variable}")
-            merged[variable] = merged.get(variable, 0.0) + float(coefficient)
+            merged[variable] = merged_get(variable, 0.0) + float(coefficient)
         row = _Row(
             variables=list(merged.keys()),
             coefficients=list(merged.values()),

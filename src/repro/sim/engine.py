@@ -46,12 +46,26 @@ class SimulationResult:
     decision_by_id: dict[int, Decision] = field(default_factory=dict)
     #: ids of requests that were preempted after acceptance.
     preempted_ids: set[int] = field(default_factory=set)
+    #: Number of requests processed (== len(decisions)).
+    num_requests: int = 0
 
     def __post_init__(self) -> None:
         if not self.decision_by_id:
             self.decision_by_id = {d.request.id: d for d in self.decisions}
         if not self.preempted_ids:
             self.preempted_ids = {r.id for r, _ in self.preemptions}
+        if not self.num_requests:
+            self.num_requests = len(self.decisions)
+
+    @property
+    def slots_per_second(self) -> float:
+        """Hot-path throughput in simulated slots per algorithm second."""
+        return self.num_slots / max(self.runtime_seconds, 1e-12)
+
+    @property
+    def requests_per_second(self) -> float:
+        """Hot-path throughput in requests per algorithm second."""
+        return self.num_requests / max(self.runtime_seconds, 1e-12)
 
     def served(self, request: Request) -> bool:
         """Accepted and never preempted."""
@@ -99,15 +113,20 @@ class SlotSimulator:
         resource_cost = np.zeros(self.num_slots)
         runtime = 0.0
         is_batch = hasattr(self.algorithm, "run_slot")
+        release = self.algorithm.release
+        process = None if is_batch else self.algorithm.process
+        on_slot = getattr(self.algorithm, "on_slot", None)
+        append_decision = decisions.append
+        no_departures: list[Request] = []
+        no_arrivals: list[Request] = []
 
         for t in range(self.num_slots):
-            arrivals = arrivals_by_slot.get(t, [])
+            arrivals = arrivals_by_slot.get(t, no_arrivals)
             requested[t] = sum(r.demand for r in arrivals)
 
             start = time.perf_counter()
-            for request in departures_by_slot.get(t, []):
-                self.algorithm.release(request)
-            on_slot = getattr(self.algorithm, "on_slot", None)
+            for request in departures_by_slot.get(t, no_departures):
+                release(request)
             if on_slot is not None:
                 on_slot(t)
             if is_batch:
@@ -116,9 +135,12 @@ class SlotSimulator:
                 preemptions.extend((r, t) for r in slot_result.dropped)
             else:
                 for request in arrivals:
-                    decision = self.algorithm.process(request)
-                    decisions.append(decision)
-                    preemptions.extend((r, t) for r in decision.preempted)
+                    decision = process(request)
+                    append_decision(decision)
+                    if decision.preempted:
+                        preemptions.extend(
+                            (r, t) for r in decision.preempted
+                        )
             runtime += time.perf_counter() - start
 
             allocated[t] = self.algorithm.active_demand()

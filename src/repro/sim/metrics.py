@@ -185,6 +185,11 @@ class NodeTimeline:
             )
             timeline.entries[app_index] = []
             timeline.active_demand[app_index] = np.zeros(result.num_slots)
+        # A preempted request stops consuming capacity at the slot the
+        # preemption happened — counting it through its nominal departure
+        # would overstate active demand (its resources were released when
+        # the preempting planned request arrived).
+        preempted_at = {r.id: t for r, t in result.preemptions}
         for decision in result.decisions:
             request = decision.request
             if request.ingress != node:
@@ -203,6 +208,7 @@ class NodeTimeline:
             if decision.accepted:
                 start = request.arrival
                 stop = min(request.departure, result.num_slots)
+                stop = min(stop, preempted_at.get(request.id, stop))
                 timeline.active_demand[request.app_index][start:stop] += (
                     request.demand
                 )

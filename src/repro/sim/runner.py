@@ -153,8 +153,12 @@ class ParallelRunner:
                 metric_dicts = list(_shared_pool(workers).map(run, seeds))
             except BrokenProcessPool:
                 # A dead worker poisons the whole executor; evict it so
-                # the next repeat() gets a fresh pool.
-                _pools.pop(workers, None)
+                # the next repeat() gets a fresh pool. Shut the broken
+                # executor down too — surviving workers would otherwise
+                # linger as orphaned processes.
+                pool = _pools.pop(workers, None)
+                if pool is not None:
+                    pool.shutdown(wait=False, cancel_futures=True)
                 raise
         return _aggregate(metric_dicts)
 
@@ -170,6 +174,20 @@ def _shared_pool(workers: int) -> ProcessPoolExecutor:
     if pool is None:
         pool = _pools[workers] = ProcessPoolExecutor(max_workers=workers)
     return pool
+
+
+def shutdown_pools(wait: bool = True) -> int:
+    """Shut down every shared executor; returns how many were closed.
+
+    Tests (and long-lived embedders) use this to reap worker processes
+    deterministically instead of relying on interpreter-exit cleanup.
+    """
+    closed = 0
+    while _pools:
+        _, pool = _pools.popitem()
+        pool.shutdown(wait=wait, cancel_futures=True)
+        closed += 1
+    return closed
 
 
 #: Process-wide runner used when a driver is not handed one explicitly;

@@ -43,15 +43,35 @@ def class_demand_series(
     """
     if num_slots < 1:
         raise WorkloadError("need at least one slot")
-    series: dict[ClassKey, np.ndarray] = {}
+    per_class: dict[ClassKey, list[Request]] = {}
     for request in requests:
-        key = request.class_key()
-        if key not in series:
-            series[key] = np.zeros(num_slots)
-        start = min(request.arrival, num_slots)
-        stop = min(request.departure, num_slots)
-        if start < stop:
-            series[key][start:stop] += request.demand
+        per_class.setdefault(request.class_key(), []).append(request)
+    series: dict[ClassKey, np.ndarray] = {}
+    for key, members in per_class.items():
+        starts = np.array(
+            [min(r.arrival, num_slots) for r in members], dtype=np.int64
+        )
+        stops = np.array(
+            [min(r.departure, num_slots) for r in members], dtype=np.int64
+        )
+        demands = np.array([r.demand for r in members])
+        lengths = stops - starts
+        keep = lengths > 0
+        starts, lengths, demands = starts[keep], lengths[keep], demands[keep]
+        out = np.zeros(num_slots)
+        if lengths.size:
+            # Concatenated [start, stop) ranges, one per request in
+            # request order; np.add.at applies the unbuffered adds in
+            # index order, reproducing the per-request slice-accumulation
+            # of the scalar loop bit for bit.
+            offsets = np.cumsum(lengths) - lengths
+            total = int(lengths.sum())
+            positions = (
+                np.arange(total, dtype=np.int64)
+                + np.repeat(starts - offsets, lengths)
+            )
+            np.add.at(out, positions, np.repeat(demands, lengths))
+        series[key] = out
     return series
 
 

@@ -12,12 +12,100 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 
 import networkx as nx
+import numpy as np
 
 from repro.errors import TopologyError
 from repro.substrate.tiers import Tier
 
 NodeId = str
 LinkId = tuple[str, str]
+
+
+@dataclass(frozen=True)
+class SubstrateIndex:
+    """Integer-indexed view of one substrate, shared by the fast paths.
+
+    Nodes and links are numbered in the substrate's insertion order (the
+    order every dict-based scan in the slow paths iterates in), so
+    array positions and dict iteration visit elements identically — a
+    requirement for bit-identical tie-breaking between the vectorized and
+    the scalar code.
+
+    ``adj`` holds node ``i``'s incident ``(neighbor_idx, link_idx)``
+    pairs, preserving the per-node neighbor order of
+    :attr:`SubstrateNetwork.adjacency`; plain-Python tuples because the
+    scalar-heavy Dijkstra loop is faster on native ints/floats than on
+    numpy scalar indexing.
+    """
+
+    node_ids: tuple[NodeId, ...]
+    link_ids: tuple[LinkId, ...]
+    node_index: dict[NodeId, int]
+    link_index: dict[LinkId, int]
+    node_capacity: np.ndarray
+    node_cost: np.ndarray
+    link_capacity: np.ndarray
+    link_cost: np.ndarray
+    adj: tuple[tuple[tuple[int, int], ...], ...]
+    link_cost_list: tuple[float, ...]
+    node_cost_list: tuple[float, ...]
+    #: Static LinkId → cost map for code that routes by link key.
+    link_cost_map: dict[LinkId, float]
+
+    @classmethod
+    def build(cls, substrate: "SubstrateNetwork") -> "SubstrateIndex":
+        node_ids = tuple(substrate.nodes)
+        link_ids = tuple(substrate.links)
+        node_index = {v: i for i, v in enumerate(node_ids)}
+        link_index = {l: i for i, l in enumerate(link_ids)}
+        adj = tuple(
+            tuple(
+                (node_index[neighbor], link_index[link])
+                for neighbor, link in substrate.adjacency[node]
+            )
+            for node in node_ids
+        )
+        return cls(
+            node_ids=node_ids,
+            link_ids=link_ids,
+            node_index=node_index,
+            link_index=link_index,
+            node_capacity=np.array(
+                [substrate.nodes[v].capacity for v in node_ids]
+            ),
+            node_cost=np.array([substrate.nodes[v].cost for v in node_ids]),
+            link_capacity=np.array(
+                [substrate.links[l].capacity for l in link_ids]
+            ),
+            link_cost=np.array([substrate.links[l].cost for l in link_ids]),
+            adj=adj,
+            link_cost_list=tuple(
+                substrate.links[l].cost for l in link_ids
+            ),
+            node_cost_list=tuple(
+                substrate.nodes[v].cost for v in node_ids
+            ),
+            link_cost_map={
+                l: substrate.links[l].cost for l in link_ids
+            },
+        )
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self.node_ids)
+
+    @property
+    def num_links(self) -> int:
+        return len(self.link_ids)
+
+
+def substrate_index(substrate: "SubstrateNetwork") -> SubstrateIndex:
+    """The (lazily built, cached) :class:`SubstrateIndex` of a substrate."""
+    index = substrate.__dict__.get("_index")
+    if index is None:
+        index = SubstrateIndex.build(substrate)
+        substrate.__dict__["_index"] = index
+    return index
 
 
 @dataclass(frozen=True)

@@ -300,7 +300,10 @@ def split_gpu_datacenters(
 
     nodes = dict(substrate.nodes)
     links = dict(substrate.links)
-    for v in selected:
+    # Iterate in sorted order: set iteration depends on string-hash
+    # randomization, which would make node insertion order — and hence
+    # every downstream trace draw and result — vary across processes.
+    for v in sorted(selected):
         attrs = nodes[v]
         half = attrs.capacity / 2.0
         nodes[v] = replace(

@@ -98,6 +98,62 @@ def capacity_constrained_dijkstra(
     return dist, parent
 
 
+def indexed_capacity_dijkstra(
+    adj: Sequence[Sequence[tuple[int, int]]],
+    link_costs: Sequence[float],
+    source: int,
+    load: float,
+    feasible: Sequence[bool],
+) -> tuple[list[int], list[int], list[int], list[float]]:
+    """Integer-indexed twin of :func:`capacity_constrained_dijkstra`.
+
+    Operates on a :class:`~repro.substrate.network.SubstrateIndex`-style
+    adjacency (per-node ``(neighbor_idx, link_idx)`` pairs, in the same
+    per-node order as the dict adjacency), with traversal weight
+    ``load × link_costs[link]`` and a precomputed per-link feasibility
+    sequence. The relaxation sequence, heap tie-breaking counter and
+    floating-point accumulation mirror the dict version exactly, so for
+    the same inputs both produce bit-identical distances and the same
+    shortest-path tree.
+
+    Returns
+    -------
+    (order, parent_node, parent_link, dist):
+        ``order`` lists settled nodes in pop order (``order[0] ==
+        source``; parents always precede children). ``parent_node[v]`` /
+        ``parent_link[v]`` are ``-1`` for the source and unreached nodes;
+        ``dist[v]`` is ``math.inf`` for unreached nodes.
+    """
+    num_nodes = len(adj)
+    dist: list[float] = [float("inf")] * num_nodes
+    dist[source] = 0.0
+    parent_node = [-1] * num_nodes
+    parent_link = [-1] * num_nodes
+    visited = [False] * num_nodes
+    order: list[int] = []
+    heap: list[tuple[float, int, int]] = [(0.0, 0, source)]
+    counter = 1  # tie-breaker, mirroring capacity_constrained_dijkstra
+    push = heapq.heappush
+    pop = heapq.heappop
+    while heap:
+        d, _, node = pop(heap)
+        if visited[node]:
+            continue
+        visited[node] = True
+        order.append(node)
+        for neighbor, link in adj[node]:
+            if visited[neighbor] or not feasible[link]:
+                continue
+            candidate = d + load * link_costs[link]
+            if candidate < dist[neighbor]:
+                dist[neighbor] = candidate
+                parent_node[neighbor] = node
+                parent_link[neighbor] = link
+                push(heap, (candidate, counter, neighbor))
+                counter += 1
+    return order, parent_node, parent_link, dist
+
+
 def path_links(parent: Mapping, source: object, target: object) -> list | None:
     """Reconstruct the list of link keys from ``source`` to ``target``.
 

@@ -48,6 +48,35 @@ class Request:
         if self.arrival < 0:
             raise WorkloadError(f"request {self.id}: negative arrival time")
 
+    @classmethod
+    def trusted(
+        cls,
+        arrival: int,
+        id: int,
+        app_index: int,
+        ingress: str,
+        demand: float,
+        duration: int,
+    ) -> "Request":
+        """Construct without re-validating the invariants.
+
+        The trace generators materialize hundreds of thousands of
+        requests whose fields are guaranteed valid by construction
+        (demands clamped to a positive floor, durations ceiled to ≥ 1);
+        skipping ``__init__``/``__post_init__`` there saves a large slice
+        of trace-assembly time. Callers must guarantee the class
+        invariants themselves.
+        """
+        self = object.__new__(cls)
+        fields = self.__dict__
+        fields["arrival"] = arrival
+        fields["id"] = id
+        fields["app_index"] = app_index
+        fields["ingress"] = ingress
+        fields["demand"] = demand
+        fields["duration"] = duration
+        return self
+
     @property
     def departure(self) -> int:
         """First slot in which the request is no longer active."""

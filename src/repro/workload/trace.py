@@ -78,8 +78,9 @@ class Trace:
         if self._split_cache is None:
             cut = self.config.history_slots
             history = [r for r in self.requests if r.arrival < cut]
+            # Re-basing preserves every invariant of the source request.
             online = [
-                Request(
+                Request.trusted(
                     arrival=r.arrival - cut,
                     id=r.id,
                     app_index=r.app_index,
@@ -157,16 +158,24 @@ def _draw_requests_for_slot(
     durations = np.maximum(
         1, np.ceil(rng.exponential(config.duration_mean, size=count))
     ).astype(int)
+    # The clamps above guarantee the Request invariants (demand ≥ floor,
+    # duration ≥ 1), so the bulk path skips per-object validation.
+    make = Request.trusted if config.demand_floor > 0 else Request
     return [
-        Request(
+        make(
             arrival=t,
             id=next_id + i,
-            app_index=int(app_idx[i]),
-            ingress=nodes[node_idx[i]],
-            demand=float(demands[i]),
-            duration=int(durations[i]),
+            app_index=app,
+            ingress=nodes[node],
+            demand=demand,
+            duration=duration,
         )
-        for i in range(count)
+        for i, (app, node, demand, duration) in enumerate(
+            zip(
+                app_idx.tolist(), node_idx.tolist(),
+                demands.tolist(), durations.tolist(),
+            )
+        )
     ]
 
 

@@ -1,0 +1,223 @@
+"""Decision-equivalence: the incremental embedding fast path must produce
+bit-identical :class:`~repro.sim.engine.SimulationResult` values to the
+pre-fast-path scalar engine (:mod:`repro.core.greedy_reference`).
+
+These tests are the enforcement half of the fast-path contract: whole
+simulations run twice — once through the memoized/vectorized path, once
+through the frozen reference — and every decision, embedding, preemption
+and per-slot metric array must match exactly (``==`` on floats, not
+``approx``). The benchmark suite's ``test_bench_hotpath.py`` measures the
+speed side of the same contract at benchmark scale.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.quickg import make_quickg
+from repro.core.greedy import GreedyContext, greedy_embed
+from repro.core import greedy_reference
+from repro.core.olive import OliveAlgorithm
+from repro.core.residual import ResidualState
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.scenario import build_scenario
+from repro.sim.engine import SimulationResult, simulate
+
+
+def assert_results_identical(
+    fast: SimulationResult, reference: SimulationResult
+) -> None:
+    """Bitwise equality of everything except wall-clock runtime."""
+    assert fast.algorithm_name == reference.algorithm_name
+    assert fast.num_slots == reference.num_slots
+    assert fast.num_requests == reference.num_requests
+    assert len(fast.decisions) == len(reference.decisions)
+    for ours, theirs in zip(fast.decisions, reference.decisions):
+        assert ours == theirs  # Decision equality covers the embedding
+    assert fast.preemptions == reference.preemptions
+    assert np.array_equal(fast.requested_demand, reference.requested_demand)
+    assert np.array_equal(fast.allocated_demand, reference.allocated_demand)
+    assert np.array_equal(fast.resource_cost, reference.resource_cost)
+
+
+def _run_both(scenario, make_algorithm):
+    online = scenario.online_requests()
+    slots = scenario.config.online_slots
+    fast = simulate(make_algorithm(True), online, slots)
+    reference = simulate(make_algorithm(False), online, slots)
+    return fast, reference
+
+
+class TestEngineEquivalence:
+    @pytest.mark.parametrize("utilization", [0.6, 1.0, 1.4])
+    def test_quickg_bit_identical(self, utilization):
+        scenario = build_scenario(
+            ExperimentConfig.test(utilization=utilization), seed=1,
+            with_plan=False,
+        )
+        fast, reference = _run_both(
+            scenario,
+            lambda fast_greedy: make_quickg(
+                scenario.substrate, scenario.apps, scenario.efficiency,
+                use_fast_greedy=fast_greedy,
+            ),
+        )
+        assert_results_identical(fast, reference)
+
+    @pytest.mark.parametrize("utilization", [1.0, 1.4])
+    def test_olive_bit_identical(self, utilization):
+        scenario = build_scenario(
+            ExperimentConfig.test(utilization=utilization), seed=2
+        )
+        fast, reference = _run_both(
+            scenario,
+            lambda fast_greedy: OliveAlgorithm(
+                scenario.substrate, scenario.apps, scenario.plan,
+                efficiency=scenario.efficiency,
+                use_fast_greedy=fast_greedy,
+            ),
+        )
+        assert_results_identical(fast, reference)
+
+    def test_olive_iris_bit_identical(self):
+        scenario = build_scenario(
+            ExperimentConfig.test(topology="Iris"), seed=3
+        )
+        fast, reference = _run_both(
+            scenario,
+            lambda fast_greedy: OliveAlgorithm(
+                scenario.substrate, scenario.apps, scenario.plan,
+                efficiency=scenario.efficiency,
+                use_fast_greedy=fast_greedy,
+            ),
+        )
+        assert_results_identical(fast, reference)
+
+    def test_gpu_two_host_bit_identical(self):
+        """The generalized two-group greedy (GPU scenario, Fig. 10)."""
+        scenario = build_scenario(
+            ExperimentConfig.test(gpu_scenario=True, app_mix="gpu"), seed=4
+        )
+        fast, reference = _run_both(
+            scenario,
+            lambda fast_greedy: OliveAlgorithm(
+                scenario.substrate, scenario.apps, scenario.plan,
+                efficiency=scenario.efficiency,
+                use_fast_greedy=fast_greedy,
+            ),
+        )
+        assert_results_identical(fast, reference)
+
+
+class TestGreedyEmbedEquivalence:
+    """Per-call equivalence of greedy_embed against the reference,
+    including after interleaved allocations (cache invalidation)."""
+
+    def test_interleaved_allocations_keep_paths_fresh(self):
+        scenario = build_scenario(
+            ExperimentConfig.test(utilization=1.4), seed=5, with_plan=False
+        )
+        substrate = scenario.substrate
+        efficiency = scenario.efficiency
+        fast_res = ResidualState(substrate)
+        ref_res = ResidualState(substrate)
+        context = GreedyContext(substrate, efficiency, fast_res)
+        from repro.core.embedding import compute_loads
+
+        checked = 0
+        for request in scenario.online_requests()[:400]:
+            app = scenario.apps[request.app_index]
+            got = context.embed(request, app, allow_split_groups=False)
+            expected = greedy_reference.greedy_embed(
+                request, app, substrate, efficiency, ref_res,
+                allow_split_groups=False,
+            )
+            if expected is None:
+                assert got is None
+                continue
+            embedding, loads = got
+            assert embedding == expected
+            expected_loads = compute_loads(
+                app, request.demand, expected, substrate, efficiency
+            )
+            assert loads.nodes == expected_loads.nodes
+            assert loads.links == expected_loads.links
+            # Allocate on both sides so residuals (and hence the path
+            # cache's dirty log) evolve identically.
+            fast_res.allocate(loads)
+            ref_res.allocate(expected_loads)
+            checked += 1
+        assert checked > 50  # the scenario must actually exercise accepts
+
+    def test_dirty_log_compaction_preserves_equivalence(self, monkeypatch):
+        """A tiny log bound forces constant compaction; entries whose
+        cursors predate the base must re-anchor instead of delta-sweeping,
+        and decisions must stay identical throughout."""
+        monkeypatch.setattr(ResidualState, "MAX_DIRTY_LOG", 8)
+        scenario = build_scenario(
+            ExperimentConfig.test(utilization=1.2), seed=7, with_plan=False
+        )
+        fast, reference = _run_both(
+            scenario,
+            lambda fast_greedy: make_quickg(
+                scenario.substrate, scenario.apps, scenario.efficiency,
+                use_fast_greedy=fast_greedy,
+            ),
+        )
+        assert_results_identical(fast, reference)
+
+    def test_heterogeneous_link_costs_disable_band_sharing(self):
+        """Tree reuse across loads is only proven exact for uniform link
+        costs; a mixed-cost substrate must recompute per lookup (and
+        still match the reference)."""
+        from tests.conftest import make_line_substrate
+        from repro.substrate.network import substrate_index
+
+        substrate = make_line_substrate()
+        # Give one link a different cost so the uniformity check trips.
+        attrs = substrate.links[("core", "transport")]
+        substrate.links[("core", "transport")] = type(attrs)(
+            tier=attrs.tier, capacity=attrs.capacity, cost=2.5
+        )
+        substrate.__dict__.pop("_index", None)  # rebuild the cached index
+        residual = ResidualState(substrate)
+        context = GreedyContext(substrate, None, residual)
+        assert context.paths.band_sharing is False
+        index = substrate_index(substrate)
+        source = index.node_index["edge-a"]
+        context.paths.lookup(source, 5.0)
+        context.paths.lookup(source, 7.0)
+        # No reuse across loads: every lookup on a mixed-cost substrate
+        # runs a fresh Dijkstra.
+        assert context.paths.misses == 2
+
+    def test_uniform_costs_enable_band_sharing(self):
+        scenario = build_scenario(
+            ExperimentConfig.test(), seed=8, with_plan=False
+        )
+        residual = ResidualState(scenario.substrate)
+        context = GreedyContext(
+            scenario.substrate, scenario.efficiency, residual
+        )
+        assert context.paths.band_sharing is True
+        source = residual.index.node_index[scenario.substrate.edge_nodes[0]]
+        context.paths.lookup(source, 5.0)
+        context.paths.lookup(source, 7.0)
+        assert context.paths.hits == 1 and context.paths.misses == 1
+
+    def test_transient_context_wrapper_matches(self):
+        scenario = build_scenario(
+            ExperimentConfig.test(), seed=6, with_plan=False
+        )
+        residual = ResidualState(scenario.substrate)
+        request = scenario.online_requests()[0]
+        app = scenario.apps[request.app_index]
+        embedding = greedy_embed(
+            request, app, scenario.substrate, scenario.efficiency, residual
+        )
+        expected = greedy_reference.greedy_embed(
+            request, app, scenario.substrate, scenario.efficiency,
+            ResidualState(scenario.substrate),
+        )
+        assert embedding == expected

@@ -28,7 +28,9 @@ from repro.sim.runner import (
     ParallelRunner,
     get_default_runner,
     repeat_runs,
+    shutdown_pools,
 )
+from repro.sim import runner as runner_mod
 
 
 def deterministic_run(seed: int) -> dict[str, float]:
@@ -73,6 +75,40 @@ class TestParallelRunner:
 
         assert ParallelRunner.from_jobs(0).jobs == (os.cpu_count() or 1)
         assert ParallelRunner.from_jobs(3).jobs == 3
+
+
+def _crash_worker(seed: int) -> dict[str, float]:
+    """Kill the worker process outright to break the pool."""
+    import os
+
+    os._exit(13)
+
+
+class TestPoolLifecycle:
+    def test_shutdown_pools_reaps_executors(self):
+        runner = ParallelRunner(jobs=2)
+        runner.repeat(deterministic_run, repetitions=2)
+        assert len(runner_mod._pools) >= 1
+        assert shutdown_pools() >= 1
+        assert runner_mod._pools == {}
+        # A fresh repeat after shutdown transparently builds a new pool.
+        summary = runner.repeat(deterministic_run, repetitions=2)
+        assert summary["cost"].count == 2
+        shutdown_pools()
+
+    def test_broken_pool_is_shut_down_on_eviction(self):
+        from concurrent.futures.process import BrokenProcessPool
+
+        runner = ParallelRunner(jobs=2)
+        with pytest.raises(BrokenProcessPool):
+            runner.repeat(_crash_worker, repetitions=2)
+        # The poisoned executor was evicted *and* shut down — no zombie
+        # entry remains for this worker count.
+        assert 2 not in runner_mod._pools
+        # The next run works again on a fresh pool.
+        summary = runner.repeat(deterministic_run, repetitions=2)
+        assert summary["cost"].count == 2
+        shutdown_pools()
 
 
 class TestInconsistentKeys:
@@ -162,6 +198,31 @@ class TestResultCache:
         assert len(cache) == 2
         assert cache.clear() == 2
         assert len(cache) == 0
+
+    def test_clear_sweeps_leaked_temp_files(self, tmp_path, sample_summary):
+        cache = ResultCache(tmp_path)
+        cache.put("a" * 64, sample_summary)
+        # Simulate a writer that crashed between write_text and replace.
+        shard = tmp_path / "cc"
+        shard.mkdir()
+        leak = shard / ("c" * 64 + ".tmp12345")
+        leak.write_text("{half-written")
+        assert cache.clear() == 1  # temp droppings are not counted...
+        assert not leak.exists()  # ...but they are removed
+        assert len(cache) == 0
+
+    def test_mixed_key_types_hash_deterministically(self):
+        config = ExperimentConfig.test()
+        extra = {1: "a", "b": 2, 2.5: "c"}
+        key = result_key(config, "sweep", ["OLIVE"], extra=extra)
+        assert key == result_key(config, "sweep", ["OLIVE"], extra=extra)
+
+    def test_colliding_stringified_keys_are_rejected(self):
+        config = ExperimentConfig.test()
+        with pytest.raises(SimulationError, match="stringify uniquely"):
+            result_key(
+                config, "sweep", ["OLIVE"], extra={"extra": {1: "a", "1": "b"}}
+            )
 
     def test_unwritable_root_warns_instead_of_crashing(self, tmp_path,
                                                        sample_summary):

@@ -1,0 +1,147 @@
+"""Property tests: per-slot accounting invariants on real scenarios.
+
+Two invariants must hold after *every* slot, for every algorithm built on
+the OLIVE allocation machinery (OLIVE, QUICKG, OLIVE-W):
+
+1. ``allocated_demand[t]`` equals the summed demand of the requests
+   active at ``t`` — accepted at arrival, not yet departed, and not
+   preempted at or before ``t`` (reconstructed independently from the
+   decision log).
+2. Substrate residual plus the recomputed loads of the active
+   allocations equals capacity on every node and link — the incremental
+   bookkeeping (and its numpy/dirty-log backend) never drifts from the
+   ground truth.
+
+Unlike ``test_property_olive.py`` (hand-built substrates, synthetic
+request streams), these run the full scenario pipeline — topology, MMPP
+trace, PLAN-VNE plan, windowed plans — at miniature scale.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.embedding import compute_loads
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.scenario import build_scenario, make_algorithm
+from repro.sim.engine import simulate
+
+ALGORITHMS = ("OLIVE", "QUICKG", "OLIVE-W")
+
+#: Small enough that one scenario builds in well under a second.
+_CONFIG = ExperimentConfig.test(
+    history_slots=40, online_slots=10, arrivals_per_node=3.0,
+    measure_start=2, measure_stop=8,
+)
+
+_scenarios: dict = {}
+
+
+def _scenario(seed: int, utilization: float):
+    key = (seed, utilization)
+    if key not in _scenarios:
+        _scenarios[key] = build_scenario(
+            _CONFIG.with_(utilization=utilization), seed
+        )
+    return _scenarios[key]
+
+
+def _expected_allocated(result) -> np.ndarray:
+    preempted_at = {r.id: t for r, t in result.preemptions}
+    expected = np.zeros(result.num_slots)
+    for decision in result.decisions:
+        if not decision.accepted:
+            continue
+        request = decision.request
+        stop = min(request.departure, result.num_slots)
+        stop = min(stop, preempted_at.get(request.id, stop))
+        for t in range(request.arrival, stop):
+            expected[t] += request.demand
+    return expected
+
+
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+@given(
+    seed=st.integers(0, 4),
+    utilization=st.sampled_from([0.6, 1.0, 1.4]),
+)
+@settings(
+    max_examples=4,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+def test_allocated_demand_matches_active_requests(
+    algorithm, seed, utilization
+):
+    scenario = _scenario(seed, utilization)
+    result = simulate(
+        make_algorithm(algorithm, scenario),
+        scenario.online_requests(),
+        scenario.config.online_slots,
+    )
+    np.testing.assert_allclose(
+        result.allocated_demand, _expected_allocated(result), rtol=1e-9
+    )
+
+
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+@given(
+    seed=st.integers(0, 4),
+    utilization=st.sampled_from([0.6, 1.0, 1.4]),
+)
+@settings(
+    max_examples=4,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+def test_residual_plus_active_loads_is_capacity(algorithm, seed, utilization):
+    scenario = _scenario(seed, utilization)
+    alg = make_algorithm(algorithm, scenario)
+    substrate = scenario.substrate
+    requests = scenario.online_requests()
+    by_arrival: dict[int, list] = {}
+    by_departure: dict[int, list] = {}
+    for request in requests:
+        by_arrival.setdefault(request.arrival, []).append(request)
+        by_departure.setdefault(request.departure, []).append(request)
+
+    on_slot = getattr(alg, "on_slot", None)
+    for t in range(scenario.config.online_slots):
+        for request in by_departure.get(t, []):
+            alg.release(request)
+        if on_slot is not None:
+            on_slot(t)
+        for request in by_arrival.get(t, []):
+            alg.process(request)
+
+        # Ground truth: recompute every active allocation's loads from
+        # its embedding and subtract from raw capacity.
+        expected_nodes = {
+            v: substrate.node_capacity(v) for v in substrate.nodes
+        }
+        expected_links = {
+            l: substrate.link_capacity(l) for l in substrate.links
+        }
+        for allocation in alg.active.values():
+            loads = compute_loads(
+                scenario.apps[allocation.request.app_index],
+                allocation.request.demand,
+                allocation.embedding,
+                substrate,
+                alg.efficiency,
+            )
+            for node, load in loads.nodes.items():
+                expected_nodes[node] -= load
+            for link, load in loads.links.items():
+                expected_links[link] -= load
+        for node, expected in expected_nodes.items():
+            assert alg.residual.nodes[node] == pytest.approx(
+                expected, abs=1e-6 * max(1.0, abs(expected))
+            ), (algorithm, t, node)
+        for link, expected in expected_links.items():
+            assert alg.residual.links[link] == pytest.approx(
+                expected, abs=1e-6 * max(1.0, abs(expected))
+            ), (algorithm, t, link)

@@ -222,6 +222,35 @@ class TestNodeTimeline:
         assert timeline.active_demand[0][0] == pytest.approx(1.0)
         assert timeline.active_demand[0][1] == pytest.approx(2.0)
 
+    def test_preempted_demand_truncated_at_preemption_slot(self):
+        # Accepted at slot 0 with duration 8, preempted at slot 3: its
+        # demand occupies [0, 3) only — the substrate released it there.
+        victim = _request(1, arrival=0, demand=5.0, duration=8)
+        survivor = _request(2, arrival=1, demand=2.0, duration=8)
+        decisions = [
+            Decision(request=victim, accepted=True),
+            Decision(request=survivor, accepted=True, planned=True),
+        ]
+        result = _result_from_decisions(
+            decisions, preemptions=[(victim, 3)]
+        )
+        timeline = NodeTimeline.collect(result, Plan(), "edge-a", num_apps=1)
+        active = timeline.active_demand[0]
+        np.testing.assert_allclose(active[:3], [5.0, 7.0, 7.0])
+        # After the preemption slot only the survivor remains active.
+        np.testing.assert_allclose(active[3:9], [2.0] * 6)
+
+    def test_preemption_beyond_departure_is_harmless(self):
+        request = _request(1, arrival=0, demand=4.0, duration=2)
+        decisions = [Decision(request=request, accepted=True)]
+        result = _result_from_decisions(
+            decisions, preemptions=[(request, 5)]
+        )
+        timeline = NodeTimeline.collect(result, Plan(), "edge-a", num_apps=1)
+        np.testing.assert_allclose(
+            timeline.active_demand[0][:3], [4.0, 4.0, 0.0]
+        )
+
 
 class TestRunner:
     def test_confidence_interval_basics(self):
