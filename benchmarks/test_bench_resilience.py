@@ -1,0 +1,89 @@
+"""fig_resilience: the dynamic-event stress battery at bench scale.
+
+Beyond the paper: the evaluation (Sec. IV-B) only exercises well-behaved
+planned demand, so there is no paper shape to reproduce — instead this
+benchmark asserts the *physics* of the event subsystem:
+
+* every profile's run stays internally consistent (availability ≤ 1,
+  disruption only where capacity events exist);
+* destructive profiles (blackout) hurt availability at least as much as
+  the undisturbed baseline;
+* the reroute policy never disrupts more requests than plain preemption
+  on the same schedule.
+"""
+
+from _bench_utils import bench_config, bench_runner, format_ci, record
+from repro.experiments.figures import RESILIENCE_PROFILES, run_resilience
+
+ALGORITHMS = ("OLIVE", "QUICKG")
+
+
+def test_resilience_battery(benchmark):
+    config = bench_config(repetitions=1, utilization=1.2)
+
+    data = benchmark.pedantic(
+        lambda: run_resilience(
+            config,
+            profiles=RESILIENCE_PROFILES,
+            algorithms=ALGORITHMS,
+            policy="reroute",
+            runner=bench_runner(),
+        ),
+        rounds=1,
+        iterations=1,
+    )
+
+    lines = [
+        "profile             alg      "
+        "rejection          disrupted          availability"
+    ]
+    for profile, summary in data.items():
+        for algorithm in ALGORITHMS:
+            lines.append(
+                f"{profile:<18}  {algorithm:<7} "
+                f"{format_ci(summary[f'{algorithm}:rejection_rate']):>17}  "
+                f"{format_ci(summary[f'{algorithm}:disrupted_rate']):>17}  "
+                f"{format_ci(summary[f'{algorithm}:availability']):>17}"
+            )
+    record("fig_resilience", lines)
+
+    for profile, summary in data.items():
+        for algorithm in ALGORITHMS:
+            availability = summary[f"{algorithm}:availability"].mean
+            disrupted = summary[f"{algorithm}:disrupted_rate"].mean
+            assert 0.0 <= availability <= 1.0, (profile, algorithm)
+            assert disrupted >= 0.0, (profile, algorithm)
+            if profile in ("none", "flash-crowd", "ingress-migration"):
+                # No capacity events → nothing can be disrupted.
+                assert disrupted == 0.0, (profile, algorithm)
+
+    for algorithm in ALGORITHMS:
+        baseline = data["none"][f"{algorithm}:availability"].mean
+        blackout = data["blackout"][f"{algorithm}:availability"].mean
+        assert blackout <= baseline + 1e-9, algorithm
+
+
+def test_reroute_never_disrupts_more_than_preempt(benchmark):
+    config = bench_config(repetitions=1, utilization=1.2)
+
+    def run_policies():
+        return {
+            policy: run_resilience(
+                config,
+                profiles=("blackout",),
+                algorithms=("QUICKG",),
+                policy=policy,
+                runner=bench_runner(),
+            )["blackout"]
+            for policy in ("preempt", "reroute")
+        }
+
+    data = benchmark.pedantic(run_policies, rounds=1, iterations=1)
+    preempt = data["preempt"]["QUICKG:disrupted_rate"].mean
+    reroute = data["reroute"]["QUICKG:disrupted_rate"].mean
+    record(
+        "fig_resilience_policies",
+        [f"blackout QUICKG disrupted: preempt={preempt:.4f} "
+         f"reroute={reroute:.4f}"],
+    )
+    assert reroute <= preempt + 1e-9

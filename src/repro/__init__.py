@@ -13,6 +13,8 @@ Public API quick-map:
 * the PLAN-VNE LP and embedding plans — :mod:`repro.plan`;
 * the OLIVE online algorithm — :mod:`repro.core`;
 * baselines (QUICKG, FULLG, SLOTOFF) — :mod:`repro.baselines`;
+* dynamic chaos scenarios (failures, drains, flash crowds) —
+  :mod:`repro.scenarios`;
 * the simulator and metrics — :mod:`repro.sim`;
 * paper-figure experiment drivers — :mod:`repro.experiments`.
 
@@ -112,14 +114,17 @@ from repro.registry import (
     algorithm_registry,
     app_mix_registry,
     efficiency_registry,
+    event_profile_registry,
     register_algorithm,
     register_app_mix,
     register_efficiency,
+    register_event_profile,
     register_topology,
     register_trace,
     topology_registry,
     trace_registry,
 )
+from repro.scenarios import EventSchedule
 
 __version__ = "1.1.0"
 
@@ -199,6 +204,8 @@ __all__ = [
     "Experiment",
     "SweepPoint",
     "SweepResult",
+    # dynamic events
+    "EventSchedule",
     # registries
     "Registry",
     "RegistryEntry",
@@ -207,9 +214,11 @@ __all__ = [
     "trace_registry",
     "app_mix_registry",
     "efficiency_registry",
+    "event_profile_registry",
     "register_algorithm",
     "register_topology",
     "register_trace",
     "register_app_mix",
     "register_efficiency",
+    "register_event_profile",
 ]

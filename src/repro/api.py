@@ -56,15 +56,22 @@ from repro.registry import (
     algorithm_registry,
     app_mix_registry,
     efficiency_registry,
+    event_profile_registry,
     topology_registry,
     trace_registry,
 )
+from repro.scenarios import profiles as _event_profiles  # noqa: F401 (registers presets)
+from repro.scenarios.events import DISRUPTION_POLICIES, EventSchedule
 from repro.sim.engine import SimulationResult, simulate
 from repro.sim.metrics import (
+    availability,
     balance_index,
     cost_breakdown,
+    disruption_rate,
+    mean_recovery_time,
     rejection_rate,
 )
+from repro.utils.rng import child_rng, make_rng
 from repro.sim.runner import (
     ConfidenceInterval,
     ParallelRunner,
@@ -74,11 +81,19 @@ from repro.sim.runner import (
 #: The paper's default comparison set (FULLG joins in Fig. 9/10 only).
 DEFAULT_ALGORITHMS = ("OLIVE", "QUICKG", "SLOTOFF")
 
-#: Scenario-level perturbation knobs accepted by :meth:`Experiment.perturb`
-#: (they parameterize :func:`~repro.experiments.scenario.build_scenario`
-#: without changing the online workload).
+#: Scenario-level perturbation knobs accepted by :meth:`Experiment.perturb`.
+#: Most parameterize :func:`~repro.experiments.scenario.build_scenario`
+#: without changing the online workload; ``events``/``event_policy``
+#: instead attach a dynamic-event schedule to the simulation itself.
 PERTURBATION_KEYS = frozenset(
-    {"plan_utilization", "shift_plan_ingress", "num_quantiles", "with_plan"}
+    {
+        "plan_utilization",
+        "shift_plan_ingress",
+        "num_quantiles",
+        "with_plan",
+        "events",
+        "event_policy",
+    }
 )
 
 _CONFIG_FIELDS = frozenset(f.name for f in fields(ExperimentConfig))
@@ -87,10 +102,42 @@ _CONFIG_FIELDS = frozenset(f.name for f in fields(ExperimentConfig))
 # -- the sweep-point engine ---------------------------------------------------
 
 
+def resolve_events(
+    events, scenario: Scenario, seed: int, policy: str | None = None
+) -> EventSchedule | None:
+    """Materialize an event schedule for one repetition.
+
+    ``events`` is a registered profile name (resolved with a seed-derived
+    rng, so repetition *i* gets its own deterministic schedule), an
+    :class:`EventSchedule` instance, or None. ``policy`` overrides the
+    schedule's stranded-request policy.
+    """
+    if events is None:
+        return None
+    if isinstance(events, str):
+        schedule = event_profile_registry.create(
+            events, scenario, child_rng(make_rng(seed), "events", events)
+        )
+    elif isinstance(events, EventSchedule):
+        schedule = events
+    else:
+        raise SimulationError(
+            "events must be a registered profile name or an EventSchedule "
+            f"(got {type(events).__name__}); known profiles: "
+            f"{list(event_profile_registry.names())}"
+        )
+    if policy is not None and policy != schedule.policy:
+        schedule = schedule.with_policy(policy)
+    schedule.validate(scenario.substrate, num_apps=len(scenario.apps))
+    return schedule
+
+
 def run_single(
     config: ExperimentConfig,
     seed: int,
     algorithms: Sequence[str] = DEFAULT_ALGORITHMS,
+    events=None,
+    event_policy: str | None = None,
     **scenario_kwargs,
 ) -> tuple[Scenario, dict[str, SimulationResult]]:
     """Run one repetition of one configuration for several algorithms.
@@ -98,17 +145,22 @@ def run_single(
     The plan is computed iff any requested algorithm declares
     ``needs_plan`` in the registry (override with an explicit
     ``with_plan=...``). All algorithms see the *same* trace and plan —
-    the paper's methodology.
+    the paper's methodology — and, when ``events`` names a registered
+    event profile (or is an :class:`EventSchedule`), the same dynamic
+    event schedule.
     """
     scenario_kwargs.setdefault(
         "with_plan", algorithms_need_plan(algorithms)
     )
     scenario = build_scenario(config, seed, **scenario_kwargs)
+    schedule = resolve_events(events, scenario, seed, event_policy)
     online = scenario.online_requests()
     results = {}
     for name in algorithms:
         algorithm = make_algorithm(name, scenario)
-        results[name] = simulate(algorithm, online, config.online_slots)
+        results[name] = simulate(
+            algorithm, online, config.online_slots, events=schedule
+        )
     return scenario, results
 
 
@@ -130,6 +182,9 @@ def summarize_run(
         metrics[f"{name}:balance"] = balance_index(
             result, len(scenario.apps), window
         )
+        metrics[f"{name}:disrupted_rate"] = disruption_rate(result, window)
+        metrics[f"{name}:availability"] = availability(result, window)
+        metrics[f"{name}:recovery_time"] = mean_recovery_time(result)
     return metrics
 
 
@@ -164,16 +219,18 @@ _REPRO_PACKAGE_ROOT = Path(__file__).resolve().parent
 
 
 def _plugin_fingerprint(
-    config: ExperimentConfig, algorithms: Sequence[str]
+    config: ExperimentConfig,
+    algorithms: Sequence[str],
+    events: str | None = None,
 ) -> str | None:
     """Hash third-party component code referenced by this sweep point.
 
     The result cache's ``code_fingerprint`` covers only the ``repro``
     package, so a registered plugin (algorithm, topology, trace, mix,
-    efficiency model) could change without invalidating cached results.
-    This hashes the source file of every out-of-package factory the
-    point uses; ``None`` when all components are built-ins, keeping
-    built-in cache keys unchanged.
+    efficiency model, event profile) could change without invalidating
+    cached results. This hashes the source file of every out-of-package
+    factory the point uses; ``None`` when all components are built-ins,
+    keeping built-in cache keys unchanged.
     """
     entries = [algorithm_registry.get(name) for name in algorithms]
     entries += [
@@ -184,6 +241,8 @@ def _plugin_fingerprint(
             config.efficiency or ("gpu" if config.gpu_scenario else "uniform")
         ),
     ]
+    if events is not None:
+        entries.append(event_profile_registry.get(events))
     digest = hashlib.sha256()
     external = False
     for entry in entries:
@@ -228,10 +287,17 @@ def run_point(
     changed points.
     """
     cache = get_active_cache() if use_cache else None
+    if isinstance(scenario_kwargs.get("events"), EventSchedule):
+        # Ad-hoc schedule objects have no stable serialized identity; only
+        # registered profile names participate in result caching.
+        cache = None
     key = None
     if cache is not None:
         extra = dict(scenario_kwargs)
-        plugin_code = _plugin_fingerprint(config, algorithms)
+        events = scenario_kwargs.get("events")
+        plugin_code = _plugin_fingerprint(
+            config, algorithms, events if isinstance(events, str) else None
+        )
         if plugin_code is not None:
             extra["plugin_code"] = plugin_code
         key = result_key(config, "sweep", algorithms, extra=extra)
@@ -471,6 +537,39 @@ class Experiment:
             self, _perturbations=tuple(sorted(merged.items()))
         )
 
+    def events(
+        self, profile: "str | EventSchedule", policy: str | None = None
+    ) -> "Experiment":
+        """Attach a dynamic-event schedule to every point (chaos scenarios).
+
+        ``profile`` is a registered event-profile name (resolved per
+        repetition with a seed-derived rng) or a concrete
+        :class:`~repro.scenarios.events.EventSchedule`; ``policy``
+        overrides how stranded requests are handled (``"preempt"`` or
+        ``"reroute"``). Profiles can also be swept:
+        ``.sweep("events", ("link-flap", "blackout"))``.
+
+        Only registered profile *names* participate in result caching —
+        an ad-hoc ``EventSchedule`` object has no stable serialized
+        identity, so points carrying one always recompute.
+        """
+        if isinstance(profile, str):
+            event_profile_registry.get(profile)  # fail fast on unknown names
+        elif not isinstance(profile, EventSchedule):
+            raise SimulationError(
+                "events() expects a registered profile name or an "
+                f"EventSchedule (got {type(profile).__name__})"
+            )
+        if policy is not None and policy not in DISRUPTION_POLICIES:
+            raise SimulationError(
+                f"unknown disruption policy {policy!r}; known: "
+                f"{list(DISRUPTION_POLICIES)}"
+            )
+        kwargs: dict[str, object] = {"events": profile}
+        if policy is not None:
+            kwargs["event_policy"] = policy
+        return self.perturb(**kwargs)
+
     def repetitions(self, count: int) -> "Experiment":
         """Set the repetition count (seeds ``base_seed .. base_seed+count-1``)."""
         return self.with_config(repetitions=count)
@@ -548,6 +647,7 @@ __all__ = [
     "Experiment",
     "SweepPoint",
     "SweepResult",
+    "resolve_events",
     "run_point",
     "run_single",
     "summarize_run",

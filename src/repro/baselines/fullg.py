@@ -246,3 +246,35 @@ class FullGAlgorithm:
 
     def active_cost_per_slot(self) -> float:
         return sum(entry[2] for entry in self.active.values())
+
+    # -- dynamic events ------------------------------------------------------
+
+    def active_loads(self):
+        """``(request, loads)`` in allocation order (disruption scans)."""
+        for request, loads, _ in self.active.values():
+            yield request, loads
+
+    def reroute(self, request: Request) -> bool:
+        """Re-embed a disrupted request exactly, against the degraded
+        substrate; the original allocation is already released."""
+        app = self.apps[request.app_index]
+        embedding = exact_embed(
+            request, app, self.substrate, self.efficiency, self.residual,
+            profile=self.profiles.get(app),
+        )
+        if embedding is None:
+            return False
+        loads = compute_loads(
+            app, request.demand, embedding, self.substrate, self.efficiency
+        )
+        self.residual.allocate(loads)
+        self.active[request.id] = (
+            request, loads, loads.cost_per_slot(self.substrate)
+        )
+        return True
+
+    def apply_events(self, t: int, events, policy: str) -> list[Request]:
+        """Consume one slot's capacity events (see OLIVE's counterpart)."""
+        from repro.scenarios.events import apply_and_resolve
+
+        return apply_and_resolve(self, events, policy)

@@ -62,9 +62,48 @@ class SlotOffAlgorithm:
         self.active: dict[int, Request] = {}
         self._last_resource_cost = 0.0
         self._last_fraction: dict[ClassKey, float] = {}
+        #: The nominal substrate; ``self.substrate`` is swapped for an
+        #: effective-capacity copy while dynamic events are in force.
+        self._nominal_substrate = substrate
+        self._node_overrides: dict = {}
+        self._link_overrides: dict = {}
 
     def release(self, request: Request) -> None:
         self.active.pop(request.id, None)
+
+    def apply_events(self, t: int, events, policy: str) -> list[Request]:
+        """Consume one slot's capacity events.
+
+        SLOTOFF re-solves the whole slot from the substrate anyway, so an
+        event merely swaps in an effective-capacity substrate copy; the
+        next :meth:`run_slot` naturally sheds over-quota ongoing requests
+        (reported as dropped there), so no immediate preemption happens
+        here and the disruption policy is moot.
+        """
+        from repro.scenarios.events import substrate_with_capacities
+
+        nominal = self._nominal_substrate
+        changed = False
+        for event in events:
+            for kind, element, capacity in event.capacity_changes(nominal):
+                overrides = (
+                    self._node_overrides if kind == "node"
+                    else self._link_overrides
+                )
+                nominal_capacity = (
+                    nominal.node_capacity(element) if kind == "node"
+                    else nominal.link_capacity(element)
+                )
+                if capacity == nominal_capacity:
+                    changed = overrides.pop(element, None) is not None or changed
+                elif overrides.get(element) != capacity:
+                    overrides[element] = capacity
+                    changed = True
+        if changed:
+            self.substrate = substrate_with_capacities(
+                nominal, self._node_overrides, self._link_overrides
+            )
+        return []
 
     def run_slot(self, t: int, arrivals: list[Request]) -> SlotResult:
         """Re-solve the slot's OFF-VNE instance and apportion per request."""

@@ -202,35 +202,14 @@ class OliveAlgorithm:
                 preempted = freed
 
         if embedding is None:
-            if self.greedy_context is not None:
-                # The fast path hands back the loads its residual check
-                # already materialized, saving a second compute_loads.
-                greedy_result = self.greedy_context.embed(
-                    request, app, allow_split_groups=self.allow_split_greedy
+            greedy_result = self._greedy_result(request, app)
+            if greedy_result is not None:
+                embedding, loads = greedy_result
+                return self._allocate(
+                    request, app, embedding, loads, planned=False,
+                    borrowed=False, via_greedy=True,
+                    pattern_index=None, preempted=preempted,
                 )
-                if greedy_result is not None:
-                    embedding, loads = greedy_result
-                    return self._allocate(
-                        request, app, embedding, loads, planned=False,
-                        borrowed=False, via_greedy=True,
-                        pattern_index=None, preempted=preempted,
-                    )
-            else:
-                embedding = greedy_reference.greedy_embed(
-                    request, app, self.substrate, self.efficiency,
-                    self.residual,
-                    allow_split_groups=self.allow_split_greedy,
-                )
-                if embedding is not None:
-                    loads = compute_loads(
-                        app, request.demand, embedding, self.substrate,
-                        self.efficiency,
-                    )
-                    return self._allocate(
-                        request, app, embedding, loads, planned=False,
-                        borrowed=False, via_greedy=True,
-                        pattern_index=None, preempted=preempted,
-                    )
             return Decision(
                 request=request, accepted=False, preempted=tuple(preempted)
             )
@@ -241,7 +220,69 @@ class OliveAlgorithm:
             pattern_index=pattern_index, preempted=preempted,
         )
 
+    # -- dynamic events ------------------------------------------------------
+
+    def active_loads(self):
+        """``(request, loads)`` of active allocations, in allocation order.
+
+        The disruption resolver scans this to find stranded allocations;
+        insertion order makes its victim choice deterministic and
+        identical between the fast and reference engines.
+        """
+        for allocation in self.active.values():
+            yield allocation.request, allocation.loads
+
+    def reroute(self, request: Request) -> bool:
+        """One greedy re-embedding attempt for a disrupted request.
+
+        The original allocation is already released; a successful
+        re-embedding is non-planned (its old pattern may sit on failed
+        elements), i.e. borrowed-like and preemptible. Routed through the
+        same engine (fast or reference) as the arrival path, so the
+        differential oracle covers rerouting too.
+        """
+        app = self.apps[request.app_index]
+        result = self._greedy_result(request, app)
+        if result is None:
+            return False
+        embedding, loads = result
+        self._allocate(
+            request, app, embedding, loads, planned=False,
+            borrowed=False, via_greedy=True,
+            pattern_index=None, preempted=[],
+        )
+        return True
+
+    def apply_events(self, t: int, events, policy: str) -> list[Request]:
+        """Apply one slot's capacity events; resolve stranded allocations.
+
+        Shared machinery in :mod:`repro.scenarios.events`; returns the
+        requests the policy dropped (reported as disruptions upstream).
+        """
+        from repro.scenarios.events import apply_and_resolve
+
+        return apply_and_resolve(self, events, policy)
+
     # -- internals ----------------------------------------------------------
+
+    def _greedy_result(self, request: Request, app: Application):
+        """GREEDYEMBED through the configured engine: ``(embedding, loads)``
+        or None. The fast path hands back the loads its residual check
+        already materialized, saving a second compute_loads."""
+        if self.greedy_context is not None:
+            return self.greedy_context.embed(
+                request, app, allow_split_groups=self.allow_split_greedy
+            )
+        embedding = greedy_reference.greedy_embed(
+            request, app, self.substrate, self.efficiency, self.residual,
+            allow_split_groups=self.allow_split_greedy,
+        )
+        if embedding is None:
+            return None
+        loads = compute_loads(
+            app, request.demand, embedding, self.substrate, self.efficiency
+        )
+        return embedding, loads
 
     def _pattern_loads(
         self,

@@ -108,6 +108,16 @@ class ResidualState:
         self.index = substrate_index(substrate)
         self.node_residual: list[float] = self.index.node_capacity.tolist()
         self.link_residual: list[float] = self.index.link_capacity.tolist()
+        #: Current *effective* capacities. They start at the substrate's
+        #: nominal values and diverge only under dynamic events (failures,
+        #: drains, degradations — :mod:`repro.scenarios.events`), which
+        #: mutate them through :meth:`set_node_capacity` /
+        #: :meth:`set_link_capacity`. The capacity invariant is always
+        #: ``residual == effective capacity − Σ active loads`` — so a
+        #: capacity cut below current usage drives the residual negative,
+        #: which is how stranded allocations are detected.
+        self.node_capacity: list[float] = self.index.node_capacity.tolist()
+        self.link_capacity: list[float] = self.index.link_capacity.tolist()
         #: Log of link positions whose residual changed, in change order;
         #: ``link_dirty_base + len(link_dirty_log)`` is the revision
         #: counter. Consumers (the greedy path cache) remember the
@@ -243,11 +253,75 @@ class ResidualState:
         if len(dirty) > self.MAX_DIRTY_LOG:
             self._compact_dirty_log()
 
+    # -- dynamic capacity mutation (events subsystem) ------------------------
+
+    def set_node_capacity(self, node: NodeId, capacity: float) -> bool:
+        """Set a node's effective capacity, shifting its residual by the
+        delta (:mod:`repro.scenarios.events`). The residual may go
+        negative: active allocations exceeding the new capacity are
+        *stranded* and must be resolved by a disruption policy. Returns
+        whether the capacity actually changed.
+        """
+        position = self.index.node_index[node]
+        delta = capacity - self.node_capacity[position]
+        if delta == 0.0:
+            return False
+        self.node_capacity[position] = capacity
+        self.node_residual[position] += delta
+        self.node_rev += 1
+        return True
+
+    def set_link_capacity(self, link, capacity: float) -> bool:
+        """Set a link's effective capacity (see :meth:`set_node_capacity`).
+
+        The change is appended to :attr:`link_dirty_log`, so the greedy
+        path cache revalidates affected shortest-path trees exactly as it
+        does for allocate/release mutations.
+        """
+        position = self.index.link_index[link]
+        delta = capacity - self.link_capacity[position]
+        if delta == 0.0:
+            return False
+        self.link_capacity[position] = capacity
+        self.link_residual[position] += delta
+        self.link_dirty_log.append(position)
+        if len(self.link_dirty_log) > self.MAX_DIRTY_LOG:
+            self._compact_dirty_log()
+        return True
+
+    def nominal_node_capacity(self, node: NodeId) -> float:
+        """The substrate's static capacity of ``node`` (pre-events)."""
+        return float(self.index.node_capacity[self.index.node_index[node]])
+
+    def nominal_link_capacity(self, link) -> float:
+        """The substrate's static capacity of ``link`` (pre-events)."""
+        return float(self.index.link_capacity[self.index.link_index[link]])
+
+    def overloaded_elements(self) -> tuple[list[NodeId], list]:
+        """Elements whose residual is negative (beyond ε), in index order.
+
+        A negative residual can only arise from an effective-capacity cut
+        below the currently allocated load; the returned elements are the
+        ones whose users a disruption policy must preempt or reroute.
+        """
+        nodes = [
+            self.index.node_ids[i]
+            for i, value in enumerate(self.node_residual)
+            if value < -EPSILON
+        ]
+        links = [
+            self.index.link_ids[i]
+            for i, value in enumerate(self.link_residual)
+            if value < -EPSILON
+        ]
+        return nodes, links
+
     def node_utilization(self, node: NodeId) -> float:
-        capacity = self.substrate.node_capacity(node)
+        position = self.index.node_index[node]
+        capacity = self.node_capacity[position]
         if capacity <= 0:
             return 0.0
-        return 1.0 - self.node_residual[self.index.node_index[node]] / capacity
+        return 1.0 - self.node_residual[position] / capacity
 
 
 @dataclass

@@ -8,6 +8,7 @@ Examples::
     python -m repro.experiments fig11 --scale bench --jobs 4
     python -m repro.experiments all --scale test
     python -m repro.experiments fig16 --topology Iris --no-cache
+    python -m repro.experiments fig_resilience --scale test --event-policy preempt
 
 ``list`` prints every figure target plus the component registries
 (algorithms, topologies, trace kinds, app mixes, efficiency models) —
@@ -57,6 +58,7 @@ FIGURES = {
     "fig14": "spatially shifted plan",
     "fig15": "CAIDA-like demand",
     "fig16": "runtime scalability",
+    "fig_resilience": "dynamic events: failures, drains, flash crowds",
 }
 
 UTILIZATIONS = BENCH_UTILIZATIONS
@@ -78,6 +80,8 @@ def _print_registries() -> None:
         ("trace kinds (config.trace_kind)", registry.trace_registry),
         ("app mixes (config.app_mix)", registry.app_mix_registry),
         ("efficiency models (config.efficiency)", registry.efficiency_registry),
+        ("event profiles (fig_resilience, api.events)",
+         registry.event_profile_registry),
     ):
         print(f"\n{title}:")
         for entry in reg.entries():
@@ -194,6 +198,23 @@ def _render_fig16(config: ExperimentConfig, args) -> int:
     return 0
 
 
+def _render_fig_resilience(config: ExperimentConfig, args) -> int:
+    data = figures.run_resilience(
+        config, policy=args.event_policy, **_algo_kwargs(args)
+    )
+    algorithms = sorted({k.split(":")[0] for k in data["none"]})
+    for profile, summary in data.items():
+        for algorithm in algorithms:
+            rejection = summary[f"{algorithm}:rejection_rate"].mean
+            disrupted = summary[f"{algorithm}:disrupted_rate"].mean
+            avail = summary[f"{algorithm}:availability"].mean
+            print(
+                f"  {profile:<18} {algorithm:<8} rejection={rejection:.3f}  "
+                f"disrupted={disrupted:.3f}  availability={avail:.3f}"
+            )
+    return 0
+
+
 RENDERERS = {
     "fig6": _render_fig6,
     "fig7": _render_fig7,
@@ -206,6 +227,7 @@ RENDERERS = {
     "fig14": _render_fig14,
     "fig15": _render_fig15,
     "fig16": _render_fig16,
+    "fig_resilience": _render_fig_resilience,
 }
 
 
@@ -226,6 +248,12 @@ def build_parser() -> argparse.ArgumentParser:
         "algorithm (repeatable; see 'list' for known names)",
     )
     parser.add_argument("--scale", choices=sorted(SCALES), default="bench")
+    parser.add_argument(
+        "--event-policy",
+        choices=("preempt", "reroute"),
+        default="reroute",
+        help="how fig_resilience handles requests stranded by failures",
+    )
     parser.add_argument("--utilization", type=float, default=1.0)
     parser.add_argument("--repetitions", type=int, default=1)
     parser.add_argument("--seed", type=int, default=0)

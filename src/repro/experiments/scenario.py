@@ -189,7 +189,9 @@ def build_scenario(
 # -- built-in algorithms -------------------------------------------------------
 
 #: Metrics every built-in algorithm reports per run (see
-#: :func:`repro.api.summarize_run`).
+#: :func:`repro.api.summarize_run`). The last three quantify resilience
+#: under dynamic events (:mod:`repro.scenarios.events`) and take their
+#: event-free defaults (0 / 1.0 / 0) on undisturbed runs.
 DEFAULT_METRICS = (
     "rejection_rate",
     "resource_cost",
@@ -197,6 +199,9 @@ DEFAULT_METRICS = (
     "total_cost",
     "runtime",
     "balance",
+    "disrupted_rate",
+    "availability",
+    "recovery_time",
 )
 
 #: Windows used by the registered ``OLIVE-W`` variant.

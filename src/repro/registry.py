@@ -47,11 +47,13 @@ __all__ = [
     "trace_registry",
     "app_mix_registry",
     "efficiency_registry",
+    "event_profile_registry",
     "register_algorithm",
     "register_topology",
     "register_trace",
     "register_app_mix",
     "register_efficiency",
+    "register_event_profile",
 ]
 
 
@@ -205,9 +207,12 @@ trace_registry = Registry("trace kind", error=SimulationError)
 app_mix_registry = Registry("app mix", error=ApplicationError)
 #: Efficiency models: ``factory() -> EfficiencyModel``.
 efficiency_registry = Registry("efficiency model", error=SimulationError)
+#: Dynamic-event profiles: ``factory(scenario, rng) -> EventSchedule``.
+event_profile_registry = Registry("event profile", error=SimulationError)
 
 register_algorithm = algorithm_registry.register
 register_topology = topology_registry.register
 register_trace = trace_registry.register
 register_app_mix = app_mix_registry.register
 register_efficiency = efficiency_registry.register
+register_event_profile = event_profile_registry.register

@@ -1,0 +1,200 @@
+"""Built-in event-profile presets (the chaos-scenario battery).
+
+Each profile is a seeded factory ``(scenario, rng) -> EventSchedule``
+registered in :data:`repro.registry.event_profile_registry`; third-party
+profiles register the same way::
+
+    from repro.registry import register_event_profile
+
+    @register_event_profile("my-outage", description="...")
+    def _my_outage(scenario, rng):
+        return EventSchedule([...], policy="reroute", name="my-outage")
+
+Profiles scale with the scenario's online horizon: event windows are
+placed at fixed fractions of ``config.online_slots`` (jittered by the
+seeded rng where it matters), so the same profile is meaningful at test,
+bench and paper scale. Element choices (which link fails, which node
+drains) are drawn from the rng, so different seeds stress different parts
+of the substrate while one seed is fully reproducible.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.registry import register_event_profile
+from repro.scenarios.events import (
+    CapacityDegradation,
+    Event,
+    EventSchedule,
+    FlashCrowd,
+    IngressMigration,
+    LinkFailure,
+    LinkRecovery,
+    NodeDrain,
+    NodeRestore,
+)
+from repro.workload.request import Request
+
+#: Flash-crowd request ids start here — far beyond any trace id, so
+#: injected requests never collide with the generated online stream.
+INJECTED_ID_BASE = 1_000_000_000
+
+
+def _choice(rng: np.random.Generator, items):
+    """Deterministic uniform choice from a sequence (index-based, so it
+    works for lists of tuples without numpy coercing them to arrays)."""
+    return items[int(rng.integers(0, len(items)))]
+
+
+def _window(scenario, start_frac: float, stop_frac: float) -> tuple[int, int]:
+    """A slot window at fixed fractions of the horizon.
+
+    Both bounds stay at most ``slots - 1``: profiles schedule events
+    (recoveries included) directly at ``stop``, and the engine's slot
+    loop ends at ``slots - 1`` — an event at ``slots`` would never fire
+    (the engine rejects such schedules).
+    """
+    slots = scenario.config.online_slots
+    last = max(1, slots - 1)
+    start = min(max(1, int(slots * start_frac)), last)
+    stop = min(max(start + 1, int(slots * stop_frac)), last)
+    return start, max(stop, start)
+
+
+@register_event_profile(
+    "link-flap",
+    description="a link repeatedly fails and recovers through the run",
+)
+def _link_flap(scenario, rng) -> EventSchedule:
+    substrate = scenario.substrate
+    link = _choice(rng, list(substrate.links))
+    start, stop = _window(scenario, 0.2, 0.9)
+    period = max(4, (stop - start) // 3)
+    down = max(1, period // 2)
+    events: list[Event] = []
+    slot = start
+    while slot < stop:
+        events.append(LinkFailure(slot=slot, link=link))
+        recovery = min(slot + down, stop)
+        events.append(LinkRecovery(slot=recovery, link=link))
+        slot += period
+    return EventSchedule(events, policy="reroute", name="link-flap")
+
+
+@register_event_profile(
+    "node-maintenance",
+    description="a datacenter is half-drained, taken down, then restored",
+)
+def _node_maintenance(scenario, rng) -> EventSchedule:
+    substrate = scenario.substrate
+    # Prefer non-edge datacenters: maintenance of an aggregation point is
+    # the interesting case (edge ingresses also anchor request classes).
+    candidates = substrate.transport_nodes + substrate.core_nodes
+    if not candidates:
+        candidates = list(substrate.nodes)
+    node = _choice(rng, candidates)
+    start, stop = _window(scenario, 0.25, 0.75)
+    drain_slot = start
+    outage_slot = min(start + max(1, (stop - start) // 3), stop)
+    restore_slot = stop
+    events = [
+        NodeDrain(slot=drain_slot, node=node, fraction=0.5),
+        NodeDrain(slot=outage_slot, node=node, fraction=0.0),
+        NodeRestore(slot=restore_slot, node=node),
+    ]
+    return EventSchedule(events, policy="reroute", name="node-maintenance")
+
+
+@register_event_profile(
+    "flash-crowd",
+    description="a demand surge at one edge datacenter (extra requests)",
+)
+def _flash_crowd(scenario, rng) -> EventSchedule:
+    config = scenario.config
+    online = scenario.trace.online_requests()
+    hot = _choice(rng, scenario.substrate.edge_nodes)
+    start, stop = _window(scenario, 0.35, 0.6)
+    burst_slots = max(1, stop - start)
+    # Surge intensity: several times the per-node arrival rate, with
+    # demand/duration resampled from the scenario's own online stream so
+    # the burst is distributionally faithful to the planned workload.
+    per_slot = max(2, int(round(config.arrivals_per_node * 3)))
+    if online:
+        demands = [r.demand for r in online]
+        durations = [r.duration for r in online]
+    else:  # pragma: no cover - empty traces only in degenerate configs
+        demands, durations = [1.0], [1]
+    num_apps = len(scenario.apps)
+    requests = []
+    next_id = INJECTED_ID_BASE
+    for slot in range(start, start + burst_slots):
+        for _ in range(per_slot):
+            demand = float(_choice(rng, demands))
+            duration = int(_choice(rng, durations))
+            requests.append(
+                Request(
+                    arrival=slot,
+                    id=next_id,
+                    app_index=int(rng.integers(0, num_apps)),
+                    ingress=hot,
+                    demand=demand,
+                    duration=min(duration, config.online_slots - slot),
+                )
+            )
+            next_id += 1
+    events: list[Event] = [FlashCrowd(slot=start, requests=tuple(requests))]
+    return EventSchedule(events, policy="preempt", name="flash-crowd")
+
+
+@register_event_profile(
+    "degradation",
+    description="every link degrades to 60% capacity for a long window",
+)
+def _degradation(scenario, rng) -> EventSchedule:
+    links = tuple(scenario.substrate.links)
+    start, stop = _window(scenario, 0.3, 0.8)
+    events = [
+        CapacityDegradation(slot=start, fraction=0.6, links=links),
+        CapacityDegradation(slot=stop, fraction=1.0, links=links),
+    ]
+    return EventSchedule(events, policy="reroute", name="degradation")
+
+
+@register_event_profile(
+    "ingress-migration",
+    description="one edge node's arrivals re-home to another for a window",
+)
+def _ingress_migration(scenario, rng) -> EventSchedule:
+    edges = scenario.substrate.edge_nodes
+    source = _choice(rng, edges)
+    others = [v for v in edges if v != source]
+    if not others:  # pragma: no cover - single-edge topologies
+        return EventSchedule([], name="ingress-migration")
+    target = _choice(rng, others)
+    start, stop = _window(scenario, 0.3, 0.8)
+    events: list[Event] = [
+        IngressMigration(slot=start, source=source, target=target, until=stop)
+    ]
+    return EventSchedule(events, policy="preempt", name="ingress-migration")
+
+
+@register_event_profile(
+    "blackout",
+    description="cascade: a node and its links fail, then staged recovery",
+)
+def _blackout(scenario, rng) -> EventSchedule:
+    substrate = scenario.substrate
+    candidates = substrate.transport_nodes + substrate.core_nodes
+    if not candidates:
+        candidates = list(substrate.nodes)
+    node = _choice(rng, candidates)
+    incident = tuple(link for _, link in substrate.adjacency[node])
+    start, stop = _window(scenario, 0.3, 0.85)
+    mid = min(start + max(1, (stop - start) // 2), stop)
+    events: list[Event] = [NodeDrain(slot=start, node=node, fraction=0.0)]
+    events.extend(LinkFailure(slot=start, link=link) for link in incident)
+    # Staged recovery: links come back first, then the datacenter.
+    events.extend(LinkRecovery(slot=mid, link=link) for link in incident)
+    events.append(NodeRestore(slot=stop, node=node))
+    return EventSchedule(events, policy="reroute", name="blackout")

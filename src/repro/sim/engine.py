@@ -1,15 +1,20 @@
 """The slot-based simulator driving online algorithms (Fig. 2 semantics).
 
 Each slot: departures are released first (OLIVE Algorithm 2 line 5), then
-arrivals are processed one by one in arrival order. Two algorithm shapes
-are supported:
+dynamic events are applied (if an :class:`~repro.scenarios.events.
+EventSchedule` is attached), then arrivals are processed one by one in
+arrival order. Two algorithm shapes are supported:
 
 * per-request algorithms (OLIVE, QUICKG, FULLG) expose
   ``process(request) → Decision``;
 * batch algorithms (SLOTOFF) expose ``run_slot(t, arrivals) → SlotResult``.
 
 Both expose ``release(request)``, ``active_demand()`` and
-``active_cost_per_slot()``.
+``active_cost_per_slot()``. Algorithms that support capacity events
+additionally expose ``apply_events(t, events, policy) → list[Request]``
+(the requests dropped by the disruption policy); workload events (flash
+crowds, ingress migrations) need no algorithm support — they transform
+the request stream before the run starts.
 """
 
 from __future__ import annotations
@@ -48,6 +53,17 @@ class SimulationResult:
     preempted_ids: set[int] = field(default_factory=set)
     #: Number of requests processed (== len(decisions)).
     num_requests: int = 0
+    #: Accepted requests dropped by a dynamic event's disruption policy,
+    #: with the slot it happened. A subset of :attr:`preemptions` — a
+    #: disrupted request also counts as preempted (it never completed).
+    disruptions: list[tuple[Request, int]] = field(default_factory=list)
+    #: ids of requests dropped by dynamic events.
+    disrupted_ids: set[int] = field(default_factory=set)
+    #: Number of dynamic events the schedule contributed to this run:
+    #: capacity events applied slot-by-slot plus workload events
+    #: (flash crowds, migrations) consumed when the request stream was
+    #: transformed before the run.
+    num_events: int = 0
 
     def __post_init__(self) -> None:
         if not self.decision_by_id:
@@ -56,6 +72,8 @@ class SimulationResult:
             self.preempted_ids = {r.id for r, _ in self.preemptions}
         if not self.num_requests:
             self.num_requests = len(self.decisions)
+        if not self.disrupted_ids:
+            self.disrupted_ids = {r.id for r, _ in self.disruptions}
 
     @property
     def slots_per_second(self) -> float:
@@ -85,8 +103,40 @@ class SlotSimulator:
         algorithm,
         requests: list[Request],
         num_slots: int,
+        events=None,
     ) -> None:
         self.algorithm = algorithm
+        if events is not None and not events.is_empty:
+            # Fail fast on events referencing unknown substrate elements —
+            # a bad schedule should not die mid-run with a raw KeyError.
+            substrate = getattr(algorithm, "substrate", None)
+            if substrate is not None:
+                events.validate(substrate)
+            # Workload events rewrite the stream deterministically before
+            # the run; every compared algorithm sees the identical
+            # perturbed trace (the paper's same-trace methodology). The
+            # input is not mutated, and the schedule memoizes the
+            # transform per input list, so simulating several algorithms
+            # over one stream pays for it once.
+            requests = events.transform_requests(requests)
+            if events.has_capacity_events and not hasattr(
+                algorithm, "apply_events"
+            ):
+                raise SimulationError(
+                    f"algorithm {algorithm.name!r} does not support "
+                    "dynamic capacity events (no apply_events method)"
+                )
+            if events.max_event_slot >= num_slots:
+                # Mirror the out-of-horizon request check below: an event
+                # (or injected arrival) past the last slot would silently
+                # never fire.
+                raise SimulationError(
+                    f"event schedule needs slot {events.max_event_slot}, "
+                    f"beyond the {num_slots}-slot horizon"
+                )
+            self.events = events
+        else:
+            self.events = None
         self.requests = sorted(requests)
         self.num_slots = num_slots
         for request in self.requests:
@@ -108,6 +158,13 @@ class SlotSimulator:
 
         decisions: list[Decision] = []
         preemptions: list[tuple[Request, int]] = []
+        disruptions: list[tuple[Request, int]] = []
+        # Workload events were already consumed transforming the request
+        # stream in __init__; capacity events add to the tally as the loop
+        # applies them.
+        num_events = (
+            self.events.num_workload_events if self.events is not None else 0
+        )
         requested = np.zeros(self.num_slots)
         allocated = np.zeros(self.num_slots)
         resource_cost = np.zeros(self.num_slots)
@@ -127,6 +184,16 @@ class SlotSimulator:
             start = time.perf_counter()
             for request in departures_by_slot.get(t, no_departures):
                 release(request)
+            if self.events is not None:
+                slot_events = self.events.capacity_events_at(t)
+                if slot_events:
+                    num_events += len(slot_events)
+                    dropped = self.algorithm.apply_events(
+                        t, slot_events, self.events.policy
+                    )
+                    for request in dropped:
+                        disruptions.append((request, t))
+                        preemptions.append((request, t))
             if on_slot is not None:
                 on_slot(t)
             if is_batch:
@@ -155,9 +222,21 @@ class SlotSimulator:
             allocated_demand=allocated,
             resource_cost=resource_cost,
             runtime_seconds=runtime,
+            disruptions=disruptions,
+            num_events=num_events,
         )
 
 
-def simulate(algorithm, requests: list[Request], num_slots: int) -> SimulationResult:
-    """Convenience wrapper: build a :class:`SlotSimulator` and run it."""
-    return SlotSimulator(algorithm, requests, num_slots).run()
+def simulate(
+    algorithm,
+    requests: list[Request],
+    num_slots: int,
+    events=None,
+) -> SimulationResult:
+    """Convenience wrapper: build a :class:`SlotSimulator` and run it.
+
+    ``events`` is an optional
+    :class:`~repro.scenarios.events.EventSchedule` the simulation
+    consumes slot-by-slot.
+    """
+    return SlotSimulator(algorithm, requests, num_slots, events=events).run()

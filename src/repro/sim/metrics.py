@@ -9,6 +9,7 @@ rejections (they incur the rejection cost; Sec. III-C).
 
 from __future__ import annotations
 
+import bisect
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -132,6 +133,96 @@ def balance_index(
             jain = float(x.sum() ** 2 / (num_apps * (x**2).sum()))
         weighted += count * jain
     return weighted / total_requests
+
+
+def disruption_rate(
+    result: SimulationResult, window: tuple[int, int] | None = None
+) -> float:
+    """Fraction of the window's requests accepted, then dropped by a
+    dynamic event's disruption policy (:mod:`repro.scenarios.events`).
+
+    0.0 for event-free runs. Disrupted requests also count as rejections
+    in :func:`rejection_rate` (they never completed); this metric isolates
+    the share lost *after* acceptance to failures/drains.
+
+    Caveat: only residual-tracking algorithms attribute drops to events.
+    SLOTOFF sheds stranded requests through its next per-slot re-solve,
+    which reports them as plain preemptions — its ``disrupted_rate`` stays
+    0 and its event losses appear in ``rejection_rate``/``availability``
+    instead, so don't compare this column across the two algorithm shapes.
+    """
+    total = 0
+    disrupted = 0
+    for decision in _windowed_requests(result, window):
+        total += 1
+        if decision.accepted and decision.request.id in result.disrupted_ids:
+            disrupted += 1
+    return disrupted / total if total else 0.0
+
+
+def availability(
+    result: SimulationResult, window: tuple[int, int] | None = None
+) -> float:
+    """Delivered / promised request-slots over the window's accepted requests.
+
+    An accepted request promises service from arrival to departure (capped
+    at the horizon); a preemption or event disruption truncates delivery
+    at the slot it happened. 1.0 when every accepted request ran to
+    completion — in particular for all event-free, preemption-free runs.
+    """
+    cut_at = {r.id: t for r, t in result.preemptions}
+    promised = 0.0
+    delivered = 0.0
+    for decision in _windowed_requests(result, window):
+        if not decision.accepted:
+            continue
+        request = decision.request
+        stop = min(request.departure, result.num_slots)
+        promise = stop - request.arrival
+        promised += promise
+        cut = cut_at.get(request.id)
+        if cut is not None:
+            delivered += max(0, min(stop, cut) - request.arrival)
+        else:
+            delivered += promise
+    return delivered / promised if promised else 1.0
+
+
+def mean_recovery_time(result: SimulationResult) -> float:
+    """Mean slots until a disrupted request's service class is served again.
+
+    For each request dropped by a dynamic event at slot ``s``, recovery
+    is the gap to the first slot ``t >= s`` in which a request of the
+    same (application, ingress) class is *accepted* — that class of users
+    is demonstrably being served again. A class that never re-accepts is
+    charged the remaining horizon. The mean is over disrupted requests;
+    0.0 when no disruption happened.
+
+    Any-arrival-anywhere definitions saturate at 0 at realistic arrival
+    rates (some request is always accepted somewhere, even mid-blackout);
+    anchoring recovery to the disrupted class makes the metric separate a
+    rerouted link flap (same-slot recovery) from an ingress-severing
+    blackout (recovery only when the substrate heals).
+    """
+    if not result.disruptions:
+        return 0.0
+    accepted_by_class: dict[tuple[int, NodeId], list[int]] = {}
+    for decision in result.decisions:
+        if decision.accepted:
+            accepted_by_class.setdefault(
+                decision.request.class_key(), []
+            ).append(decision.request.arrival)
+    for slots in accepted_by_class.values():
+        slots.sort()
+    gaps = []
+    for request, slot in result.disruptions:
+        accepted = accepted_by_class.get(request.class_key(), ())
+        position = bisect.bisect_left(accepted, slot)
+        if position < len(accepted):
+            gaps.append(accepted[position] - slot)
+        else:
+            gaps.append(result.num_slots - slot)
+    return sum(gaps) / len(gaps)
 
 
 def demand_series(

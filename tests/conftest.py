@@ -8,7 +8,13 @@ rebuilding the plan per test.
 
 from __future__ import annotations
 
+import difflib
+import json
+import os
+from pathlib import Path
+
 import pytest
+from hypothesis import HealthCheck, settings
 
 from repro.apps.application import ROOT_ID, Application, VNF, VNFKind, VirtualLink
 from repro.experiments import cache as result_cache
@@ -19,6 +25,83 @@ from repro.substrate.network import LinkAttrs, NodeAttrs, SubstrateNetwork
 from repro.substrate.tiers import Tier
 from repro.utils.paths import CACHE_ROOT_ENV, DATA_ROOT_ENV
 from repro.utils.rng import make_rng
+
+
+# -- hypothesis hygiene --------------------------------------------------------
+#
+# One registered profile per use case, loaded deterministically so local
+# runs and CI shrink/replay identically:
+#
+# * ``ci`` (default): derandomized — the same examples every run, no
+#   wall-clock deadline (scenario-building examples legitimately take
+#   hundreds of ms on a busy CI box, and flaky deadline failures are
+#   worse than none).
+# * ``dev``: random exploration for bug hunting; select it with
+#   ``HYPOTHESIS_PROFILE=dev pytest ...``.
+settings.register_profile(
+    "ci",
+    deadline=None,
+    derandomize=True,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.register_profile("dev", deadline=None, max_examples=50)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "ci"))
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-golden",
+        action="store_true",
+        default=False,
+        help="rewrite tests/golden/*.json snapshots from the current run "
+        "instead of comparing against them",
+    )
+
+
+#: Committed figure-driver snapshots (see tests/test_golden_figures.py).
+GOLDEN_DIR = Path(__file__).parent / "golden"
+
+
+@pytest.fixture
+def golden(request):
+    """Compare ``data`` against the committed snapshot ``name``.
+
+    Under ``--update-golden`` the snapshot is rewritten instead. Failures
+    print a unified diff of the canonical JSON rendering, so a divergence
+    reads like a code review, not a wall of repr.
+    """
+    update = request.config.getoption("--update-golden")
+
+    def check(name: str, data) -> None:
+        path = GOLDEN_DIR / f"{name}.json"
+        actual = json.dumps(data, indent=2, sort_keys=True) + "\n"
+        if update:
+            GOLDEN_DIR.mkdir(exist_ok=True)
+            path.write_text(actual)
+            return
+        if not path.exists():
+            pytest.fail(
+                f"no golden snapshot {path.name}; create it with "
+                f"`pytest {request.node.nodeid} --update-golden` and commit "
+                "the file"
+            )
+        expected = path.read_text()
+        if actual != expected:
+            diff = "\n".join(
+                difflib.unified_diff(
+                    expected.splitlines(),
+                    actual.splitlines(),
+                    fromfile=f"golden/{path.name} (committed)",
+                    tofile=f"golden/{path.name} (this run)",
+                    lineterm="",
+                )
+            )
+            pytest.fail(
+                f"golden snapshot {path.name} diverged — if the change is "
+                "intended, re-run with --update-golden and commit:\n" + diff
+            )
+
+    return check
 
 
 @pytest.fixture(autouse=True)

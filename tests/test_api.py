@@ -126,8 +126,8 @@ class TestSweepResult:
 
     def test_to_rows_tidy_shape(self, result):
         rows = result.to_rows()
-        # 2 points × 1 algorithm × 6 metrics
-        assert len(rows) == 12
+        # 2 points × 1 algorithm × 9 metrics (see DEFAULT_METRICS)
+        assert len(rows) == 18
         row = rows[0]
         assert row["algorithm"] == "QUICKG"
         assert {"utilization", "metric", "mean", "half_width", "low",

@@ -1,0 +1,216 @@
+"""Differential oracle for the dynamic-event subsystem.
+
+There is no ground truth for scenarios the paper never ran — but there
+are *two independent engines* that must agree on every decision: the
+incremental fast path (:mod:`repro.core.greedy` with its memoized path
+trees and dirty-log invalidation) and the frozen scalar reference
+(:mod:`repro.core.greedy_reference`). This module extends the
+``test_fastpath_equivalence`` contract to *mutated* substrates: whole
+simulations under every registered event profile, run through both
+engines, must produce bit-identical results — decisions, embeddings,
+preemptions, disruptions and per-slot metric arrays.
+
+This is the hardest test the path cache faces: capacity events flow
+through the same dirty log as allocations, so a stale feasibility band
+after a failure/recovery would mis-route exactly one request — and show
+up here as a divergence.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.api import resolve_events
+from repro.baselines.quickg import make_quickg
+from repro.core.olive import OliveAlgorithm
+from repro.core.residual import ResidualState
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.scenario import build_scenario
+from repro.registry import event_profile_registry
+from repro.scenarios.events import (
+    EventSchedule,
+    LinkFailure,
+    LinkRecovery,
+    NodeDrain,
+    NodeRestore,
+)
+from repro.sim.engine import simulate
+from tests.test_fastpath_equivalence import assert_results_identical
+
+#: Every registered profile is part of the oracle contract; a new profile
+#: registered in repro.scenarios.profiles is picked up automatically.
+ALL_PROFILES = event_profile_registry.names()
+
+
+def _assert_event_results_identical(fast, reference) -> None:
+    assert_results_identical(fast, reference)
+    assert fast.disruptions == reference.disruptions
+    assert fast.disrupted_ids == reference.disrupted_ids
+    assert fast.num_events == reference.num_events
+
+
+def _run_both_with_events(scenario, make_algorithm, schedule):
+    online = scenario.online_requests()
+    slots = scenario.config.online_slots
+    fast = simulate(make_algorithm(True), online, slots, events=schedule)
+    reference = simulate(make_algorithm(False), online, slots, events=schedule)
+    return fast, reference
+
+
+class TestEventOracle:
+    @pytest.mark.parametrize("profile", ALL_PROFILES)
+    @pytest.mark.parametrize("policy", ["preempt", "reroute"])
+    def test_quickg_bit_identical_under_profile(self, profile, policy):
+        scenario = build_scenario(
+            ExperimentConfig.test(utilization=1.4), seed=11, with_plan=False
+        )
+        schedule = resolve_events(profile, scenario, 11, policy)
+        fast, reference = _run_both_with_events(
+            scenario,
+            lambda fast_greedy: make_quickg(
+                scenario.substrate, scenario.apps, scenario.efficiency,
+                use_fast_greedy=fast_greedy,
+            ),
+            schedule,
+        )
+        _assert_event_results_identical(fast, reference)
+
+    @pytest.mark.parametrize("profile", ALL_PROFILES)
+    def test_olive_bit_identical_under_profile(self, profile):
+        """OLIVE adds plan guidance, borrowing and plan-preemption on top
+        of the greedy engines — all of it must survive substrate events."""
+        scenario = build_scenario(
+            ExperimentConfig.test(utilization=1.4), seed=12
+        )
+        schedule = resolve_events(profile, scenario, 12, "reroute")
+        fast, reference = _run_both_with_events(
+            scenario,
+            lambda fast_greedy: OliveAlgorithm(
+                scenario.substrate, scenario.apps, scenario.plan,
+                efficiency=scenario.efficiency,
+                use_fast_greedy=fast_greedy,
+            ),
+            schedule,
+        )
+        _assert_event_results_identical(fast, reference)
+
+    def test_olive_iris_blackout_bit_identical(self):
+        """The larger Iris substrate under the most destructive profile."""
+        scenario = build_scenario(
+            ExperimentConfig.test(topology="Iris", utilization=1.4), seed=13
+        )
+        schedule = resolve_events("blackout", scenario, 13, "preempt")
+        fast, reference = _run_both_with_events(
+            scenario,
+            lambda fast_greedy: OliveAlgorithm(
+                scenario.substrate, scenario.apps, scenario.plan,
+                efficiency=scenario.efficiency,
+                use_fast_greedy=fast_greedy,
+            ),
+            schedule,
+        )
+        assert fast.num_events > 0
+        _assert_event_results_identical(fast, reference)
+
+    def test_gpu_two_host_bit_identical_under_events(self):
+        """The generalized two-group greedy with capacity churn."""
+        scenario = build_scenario(
+            ExperimentConfig.test(gpu_scenario=True, app_mix="gpu"), seed=14
+        )
+        schedule = resolve_events("link-flap", scenario, 14, "reroute")
+        fast, reference = _run_both_with_events(
+            scenario,
+            lambda fast_greedy: OliveAlgorithm(
+                scenario.substrate, scenario.apps, scenario.plan,
+                efficiency=scenario.efficiency,
+                use_fast_greedy=fast_greedy,
+            ),
+            schedule,
+        )
+        _assert_event_results_identical(fast, reference)
+
+    def test_dense_flapping_with_tiny_dirty_log(self, monkeypatch):
+        """Constant capacity churn with a pathologically small dirty-log
+        bound: compaction must never let a stale band survive an event."""
+        monkeypatch.setattr(ResidualState, "MAX_DIRTY_LOG", 8)
+        scenario = build_scenario(
+            ExperimentConfig.test(utilization=1.2), seed=15, with_plan=False
+        )
+        links = list(scenario.substrate.links)
+        events = []
+        for slot in range(1, scenario.config.online_slots - 1):
+            link = links[slot % len(links)]
+            if slot % 2:
+                events.append(LinkFailure(slot=slot, link=link))
+            else:
+                events.append(LinkRecovery(slot=slot, link=link))
+        schedule = EventSchedule(events, policy="reroute")
+        fast, reference = _run_both_with_events(
+            scenario,
+            lambda fast_greedy: make_quickg(
+                scenario.substrate, scenario.apps, scenario.efficiency,
+                use_fast_greedy=fast_greedy,
+            ),
+            schedule,
+        )
+        _assert_event_results_identical(fast, reference)
+
+    def test_node_churn_bit_identical(self):
+        """Node-capacity events exercise the node-array revision path."""
+        scenario = build_scenario(
+            ExperimentConfig.test(utilization=1.4), seed=16, with_plan=False
+        )
+        nodes = list(scenario.substrate.nodes)
+        events = []
+        for slot in range(2, scenario.config.online_slots - 2, 3):
+            node = nodes[slot % len(nodes)]
+            events.append(NodeDrain(slot=slot, node=node, fraction=0.3))
+            events.append(NodeRestore(slot=slot + 2, node=node))
+        schedule = EventSchedule(events, policy="preempt")
+        fast, reference = _run_both_with_events(
+            scenario,
+            lambda fast_greedy: make_quickg(
+                scenario.substrate, scenario.apps, scenario.efficiency,
+                use_fast_greedy=fast_greedy,
+            ),
+            schedule,
+        )
+        assert fast.num_events == reference.num_events > 0
+        _assert_event_results_identical(fast, reference)
+
+    def test_disruptions_actually_happen_somewhere(self):
+        """Meta-check: the oracle must not pass vacuously — at least one
+        profile at this scale must produce real disruptions."""
+        total = 0
+        for profile in ALL_PROFILES:
+            scenario = build_scenario(
+                ExperimentConfig.test(utilization=1.4), seed=11,
+                with_plan=False,
+            )
+            schedule = resolve_events(profile, scenario, 11, "preempt")
+            algorithm = make_quickg(
+                scenario.substrate, scenario.apps, scenario.efficiency
+            )
+            result = simulate(
+                algorithm, scenario.online_requests(),
+                scenario.config.online_slots, events=schedule,
+            )
+            total += len(result.disruptions)
+        assert total > 0
+
+    def test_allocated_demand_never_negative_under_events(self):
+        for profile in ALL_PROFILES:
+            scenario = build_scenario(
+                ExperimentConfig.test(utilization=1.4), seed=17,
+                with_plan=False,
+            )
+            schedule = resolve_events(profile, scenario, 17, "reroute")
+            algorithm = make_quickg(
+                scenario.substrate, scenario.apps, scenario.efficiency
+            )
+            result = simulate(
+                algorithm, scenario.online_requests(),
+                scenario.config.online_slots, events=schedule,
+            )
+            assert np.all(result.allocated_demand >= 0), profile

@@ -1,0 +1,226 @@
+"""Golden snapshots: every figure driver locked at a tiny deterministic
+configuration.
+
+Each test runs one driver from :mod:`repro.experiments.figures` at the
+smallest meaningful scale and compares its entire (sanitized) output
+against a committed JSON snapshot under ``tests/golden/``. The snapshots
+are the regression net for the heavily optimized hot path: any change to
+embedding decisions, metric arithmetic, trace generation or plan
+construction shows up as a diff here — deliberate changes are re-blessed
+with ``pytest tests/test_golden_figures.py --update-golden``.
+
+Wall-clock values (the ``runtime`` metric, fig16's timings) are
+*structure-only* in the snapshots: keys are locked, numbers are not —
+they are real timings and legitimately differ per machine.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.figures import (
+    RESILIENCE_PROFILES,
+    collect_node_timeline,
+    run_balance_quantiles,
+    run_by_application,
+    run_caida,
+    run_demand_zoom,
+    run_gpu_scenario,
+    run_rejection_vs_utilization,
+    run_resilience,
+    run_runtime_scaling,
+    run_shifted_plan,
+    run_unexpected_demand,
+)
+from repro.registry import topology_registry
+from repro.substrate.topologies import make_topology
+
+#: Metrics whose values are wall-clock timings — locked by key only.
+WALLCLOCK_METRICS = ("runtime",)
+
+
+def _ci_json(interval) -> dict:
+    """A ConfidenceInterval as a stable JSON fragment."""
+    return {
+        "mean": interval.mean,
+        "half_width": interval.half_width,
+        "count": interval.count,
+    }
+
+
+def _summary_json(summary: dict) -> dict:
+    """``{alg:metric -> CI}`` sanitized: wall-clock values key-only."""
+    out = {}
+    for key, interval in summary.items():
+        metric = key.split(":", 1)[1] if ":" in key else key
+        if metric in WALLCLOCK_METRICS:
+            out[key] = "<wall-clock>"
+        else:
+            out[key] = _ci_json(interval)
+    return out
+
+
+def _keyed_json(data: dict) -> dict:
+    """``{sweep value -> summary}`` with string keys (JSON object keys)."""
+    return {f"{key:g}" if isinstance(key, float) else str(key):
+            _summary_json(summary) for key, summary in data.items()}
+
+
+@pytest.fixture(scope="module")
+def tiny_config() -> ExperimentConfig:
+    """The golden scale: CittaStudi, 80 history + 16 online slots."""
+    return ExperimentConfig.test(
+        history_slots=80, online_slots=16, measure_start=2, measure_stop=14
+    )
+
+
+class TestGoldenFigures:
+    def test_fig06_07_rejection_and_cost_vs_utilization(
+        self, tiny_config, golden
+    ):
+        """One driver feeds Fig. 6 (rejection) and Fig. 7 (cost); the
+        snapshot covers all its metrics. SLOTOFF joins only at the
+        overloaded point — its per-slot LP dominates wall-clock, and one
+        point suffices to lock its decisions."""
+        data = run_rejection_vs_utilization(
+            tiny_config, (0.8, 1.4), algorithms=("OLIVE", "QUICKG")
+        )
+        data_slotoff = run_rejection_vs_utilization(
+            tiny_config, (1.4,), algorithms=("SLOTOFF",)
+        )
+        golden(
+            "fig06_07_rejection_cost",
+            {
+                "OLIVE+QUICKG": _keyed_json(data),
+                "SLOTOFF": _keyed_json(data_slotoff),
+            },
+        )
+
+    def test_fig08_demand_zoom(self, tiny_config, golden):
+        series = run_demand_zoom(
+            tiny_config.with_(utilization=1.4), (2, 14),
+            algorithms=("OLIVE", "QUICKG"),
+        )
+        golden(
+            "fig08_demand_zoom",
+            {
+                name: {
+                    "slots": data["slots"].tolist(),
+                    "requested": data["requested"].tolist(),
+                    "allocated": data["allocated"].tolist(),
+                }
+                for name, data in series.items()
+            },
+        )
+
+    def test_fig09_by_application(self, tiny_config, golden):
+        data = run_by_application(
+            tiny_config,
+            app_types=("chain", "tree", "accelerator", "standard"),
+            algorithms=("OLIVE", "QUICKG", "FULLG"),
+        )
+        golden("fig09_by_application", _keyed_json(data))
+
+    def test_fig10_gpu_scenario(self, tiny_config, golden):
+        # SLOTOFF's per-slot LP dominates wall-clock at the GPU scenario;
+        # OLIVE + FULLG are the decisions worth locking.
+        summary = run_gpu_scenario(
+            tiny_config, algorithms=("OLIVE", "FULLG")
+        )
+        golden("fig10_gpu_scenario", _summary_json(summary))
+
+    def test_fig11_balance_quantiles(self, tiny_config, golden):
+        summary = run_balance_quantiles(
+            tiny_config.with_(utilization=1.4), quantile_counts=(1, 10)
+        )
+        golden(
+            "fig11_balance_quantiles",
+            {name: _ci_json(interval) for name, interval in summary.items()},
+        )
+
+    def test_fig12_node_timeline(self, golden):
+        config = ExperimentConfig.test(
+            topology="Iris",
+            history_slots=80, online_slots=16,
+            measure_start=2, measure_stop=14,
+        )
+        timeline = collect_node_timeline(config, "Franklin")
+        golden(
+            "fig12_node_timeline",
+            {
+                "node": timeline.node,
+                "num_slots": timeline.num_slots,
+                "guaranteed_demand": {
+                    str(app): value
+                    for app, value in timeline.guaranteed_demand.items()
+                },
+                "status_counts": {
+                    str(app): timeline.counts(app)
+                    for app in sorted(timeline.entries)
+                },
+                "active_demand": {
+                    str(app): series.tolist()
+                    for app, series in timeline.active_demand.items()
+                },
+            },
+        )
+
+    def test_fig13_unexpected_demand(self, tiny_config, golden):
+        summary = run_unexpected_demand(
+            tiny_config.with_(utilization=1.4),
+            plan_utilizations=(0.6, 1.0),
+            reference_algorithms=("OLIVE", "QUICKG"),
+        )
+        golden(
+            "fig13_unexpected_demand",
+            {name: _ci_json(interval) for name, interval in summary.items()},
+        )
+
+    def test_fig14_shifted_plan(self, tiny_config, golden):
+        data = run_shifted_plan(tiny_config, (0.8, 1.4))
+        golden("fig14_shifted_plan", _keyed_json(data))
+
+    def test_fig15_caida(self, tiny_config, golden):
+        data = run_caida(tiny_config, (0.8, 1.4), algorithms=("OLIVE", "QUICKG"))
+        golden("fig15_caida", _keyed_json(data))
+
+    def test_fig16_runtime_scaling_structure(self, tiny_config, golden):
+        """Runtime numbers are wall-clock; the snapshot locks the result
+        structure (sweep points × algorithms) only."""
+        data = run_runtime_scaling(
+            tiny_config,
+            arrival_rates=(2.0, 5.0),
+            utilizations=(0.8, 1.4),
+        )
+        golden(
+            "fig16_runtime_structure",
+            {
+                section: {
+                    f"{point:g}": sorted(summary)
+                    for point, summary in by_point.items()
+                }
+                for section, by_point in data.items()
+            },
+        )
+
+    def test_fig_resilience(self, tiny_config, golden):
+        data = run_resilience(
+            tiny_config.with_(utilization=1.4),
+            profiles=RESILIENCE_PROFILES,
+            algorithms=("OLIVE", "QUICKG"),
+            policy="preempt",
+        )
+        golden("fig_resilience", _keyed_json(data))
+
+    def test_table2_topologies(self, golden):
+        """Table II: the structural summary of every registered topology."""
+        summaries = {}
+        for name in topology_registry.names():
+            summary = make_topology(name).summary()
+            summaries[name] = {
+                key: (value.item() if isinstance(value, np.generic) else value)
+                for key, value in summary.items()
+            }
+        golden("table2_topologies", summaries)

@@ -1,0 +1,209 @@
+"""Metamorphic properties of the simulator and the event subsystem.
+
+Without ground truth for chaos scenarios, we test *relations between
+runs* that must hold whatever the absolute numbers are:
+
+* growing every capacity can never increase the rejection count (more
+  room, same workload, same greedy rule);
+* an empty event schedule is bit-identical to running with no schedule;
+* a failure undone within the same slot is invisible (events of one slot
+  apply atomically before stranding is resolved);
+* after any failure/recovery churn, the capacity invariant
+  ``residual + Σ active loads == effective capacity`` holds exactly.
+
+Hypothesis drives the parameter choices; the ``ci`` profile in
+``conftest.py`` derandomizes them, so CI replays the identical examples
+every run.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.quickg import make_quickg
+from repro.core.olive import OliveAlgorithm
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.scenario import Scenario, build_scenario
+from repro.scenarios.events import (
+    EventSchedule,
+    LinkFailure,
+    LinkRecovery,
+    NodeDrain,
+    NodeRestore,
+    capacity_invariant_gap,
+)
+from repro.sim.engine import SimulationResult, simulate
+from tests.test_fastpath_equivalence import assert_results_identical
+
+#: Scenario construction dominates example cost; scenarios are immutable
+#: for our purposes (algorithms keep their own residual state), so one
+#: cache serves every hypothesis example.
+_SCENARIOS: dict[tuple, Scenario] = {}
+
+
+def _scenario(utilization: float, seed: int, with_plan: bool = False) -> Scenario:
+    key = (utilization, seed, with_plan)
+    if key not in _SCENARIOS:
+        _SCENARIOS[key] = build_scenario(
+            ExperimentConfig.test(utilization=utilization),
+            seed,
+            with_plan=with_plan,
+        )
+    return _SCENARIOS[key]
+
+
+def _not_served(result: SimulationResult) -> int:
+    return (
+        sum(1 for d in result.decisions if not d.accepted)
+        + len(result.preemptions)
+    )
+
+
+class TestCapacityMonotonicity:
+    @settings(max_examples=12)
+    @given(
+        utilization=st.sampled_from([0.8, 1.2, 1.6, 2.0]),
+        seed=st.integers(min_value=0, max_value=7),
+        factor=st.sampled_from([1.25, 1.5, 2.0, 4.0]),
+    )
+    def test_scaling_all_capacities_up_never_increases_rejections(
+        self, utilization, seed, factor
+    ):
+        scenario = _scenario(utilization, seed)
+        online = scenario.online_requests()
+        slots = scenario.config.online_slots
+
+        base = simulate(
+            make_quickg(scenario.substrate, scenario.apps, scenario.efficiency),
+            online, slots,
+        )
+        scaled = simulate(
+            make_quickg(
+                scenario.substrate.scaled_capacities(factor),
+                scenario.apps, scenario.efficiency,
+            ),
+            online, slots,
+        )
+        assert _not_served(scaled) <= _not_served(base)
+
+
+class TestEmptyScheduleIdentity:
+    @settings(max_examples=6)
+    @given(
+        utilization=st.sampled_from([1.0, 1.4]),
+        seed=st.integers(min_value=0, max_value=3),
+    )
+    def test_empty_schedule_is_bit_identical_to_no_events(
+        self, utilization, seed
+    ):
+        scenario = _scenario(utilization, seed, with_plan=True)
+        online = scenario.online_requests()
+        slots = scenario.config.online_slots
+
+        def olive():
+            return OliveAlgorithm(
+                scenario.substrate, scenario.apps, scenario.plan,
+                efficiency=scenario.efficiency,
+            )
+
+        plain = simulate(olive(), online, slots)
+        empty = simulate(olive(), online, slots, events=EventSchedule([]))
+        assert_results_identical(empty, plain)
+        assert empty.num_events == 0
+        assert empty.disruptions == []
+
+
+class TestSameSlotRecovery:
+    @settings(max_examples=8)
+    @given(
+        utilization=st.sampled_from([1.2, 1.6]),
+        seed=st.integers(min_value=0, max_value=3),
+        slot_fraction=st.sampled_from([0.25, 0.5, 0.75]),
+        element=st.integers(min_value=0, max_value=31),
+    )
+    def test_failure_and_recovery_within_one_slot_is_invisible(
+        self, utilization, seed, slot_fraction, element
+    ):
+        """All events of a slot apply atomically before stranding is
+        resolved, so fail+recover in one slot must not disrupt anything —
+        and the run must be bit-identical to an undisturbed one."""
+        scenario = _scenario(utilization, seed)
+        online = scenario.online_requests()
+        slots = scenario.config.online_slots
+        slot = max(1, int(slots * slot_fraction))
+        links = list(scenario.substrate.links)
+        nodes = list(scenario.substrate.nodes)
+        link = links[element % len(links)]
+        node = nodes[element % len(nodes)]
+        schedule = EventSchedule(
+            [
+                LinkFailure(slot=slot, link=link),
+                NodeDrain(slot=slot, node=node, fraction=0.0),
+                LinkRecovery(slot=slot, link=link),
+                NodeRestore(slot=slot, node=node),
+            ],
+            policy="preempt",
+        )
+
+        def quickg():
+            return make_quickg(
+                scenario.substrate, scenario.apps, scenario.efficiency
+            )
+
+        plain = simulate(quickg(), online, slots)
+        churned_algorithm = quickg()
+        churned = simulate(churned_algorithm, online, slots, events=schedule)
+        assert churned.disruptions == []
+        assert_results_identical(churned, plain)
+        # The capacity invariant holds exactly at the end of the run:
+        # residual + active loads == effective capacity (== nominal, since
+        # every cut was undone).
+        assert capacity_invariant_gap(churned_algorithm) == pytest.approx(
+            0.0, abs=1e-6
+        )
+
+
+class TestCapacityInvariantUnderChurn:
+    @settings(max_examples=8)
+    @given(
+        seed=st.integers(min_value=0, max_value=3),
+        policy=st.sampled_from(["preempt", "reroute"]),
+        picks=st.lists(
+            st.tuples(
+                st.integers(min_value=1, max_value=22),  # failure slot
+                st.integers(min_value=0, max_value=31),  # element index
+                st.integers(min_value=1, max_value=6),   # downtime slots
+            ),
+            min_size=1,
+            max_size=4,
+        ),
+    )
+    def test_residuals_obey_capacity_invariant_after_any_churn(
+        self, seed, policy, picks
+    ):
+        scenario = _scenario(1.6, seed)
+        online = scenario.online_requests()
+        slots = scenario.config.online_slots
+        links = list(scenario.substrate.links)
+        events = []
+        for slot, element, downtime in picks:
+            link = links[element % len(links)]
+            events.append(LinkFailure(slot=slot, link=link))
+            events.append(
+                LinkRecovery(slot=min(slot + downtime, slots - 1), link=link)
+            )
+        schedule = EventSchedule(events, policy=policy)
+        algorithm = make_quickg(
+            scenario.substrate, scenario.apps, scenario.efficiency
+        )
+        result = simulate(algorithm, online, slots, events=schedule)
+        assert capacity_invariant_gap(algorithm) == pytest.approx(
+            0.0, abs=1e-6
+        )
+        # Every recovery happened, so effective capacity is nominal again.
+        index = algorithm.residual.index
+        assert algorithm.residual.link_capacity == index.link_capacity.tolist()
+        # Disruption bookkeeping is consistent.
+        assert result.disrupted_ids <= result.preempted_ids
