@@ -15,7 +15,9 @@ Public API quick-map:
 * baselines (QUICKG, FULLG, SLOTOFF) — :mod:`repro.baselines`;
 * dynamic chaos scenarios (failures, drains, flash crowds) —
   :mod:`repro.scenarios`;
-* the simulator and metrics — :mod:`repro.sim`;
+* the simulator, streaming sessions, and metrics — :mod:`repro.sim`;
+* the live embedding-service layer (admission policies, rolling
+  metrics) — :mod:`repro.serve`;
 * paper-figure experiment drivers — :mod:`repro.experiments`.
 
 Minimal end-to-end example::
@@ -92,7 +94,10 @@ from repro.plan import (
 from repro.core import Decision, Embedding, OliveAlgorithm, greedy_embed
 from repro.baselines import FullGAlgorithm, SlotOffAlgorithm, make_quickg
 from repro.sim import (
+    SessionSnapshot,
     SimulationResult,
+    SimulationSession,
+    SlotReport,
     SlotSimulator,
     balance_index,
     confidence_interval,
@@ -101,6 +106,7 @@ from repro.sim import (
     rejection_rate,
     simulate,
 )
+from repro.serve import EmbedderService, MetricsStream, ServiceMetrics
 from repro.experiments import (
     ExperimentConfig,
     algorithms_need_plan,
@@ -111,10 +117,12 @@ from repro.api import Experiment, SweepPoint, SweepResult
 from repro.registry import (
     Registry,
     RegistryEntry,
+    admission_policy_registry,
     algorithm_registry,
     app_mix_registry,
     efficiency_registry,
     event_profile_registry,
+    register_admission_policy,
     register_algorithm,
     register_app_mix,
     register_efficiency,
@@ -126,7 +134,7 @@ from repro.registry import (
 )
 from repro.scenarios import EventSchedule
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     # errors
@@ -190,6 +198,13 @@ __all__ = [
     "simulate",
     "SlotSimulator",
     "SimulationResult",
+    "SimulationSession",
+    "SessionSnapshot",
+    "SlotReport",
+    # serve
+    "EmbedderService",
+    "MetricsStream",
+    "ServiceMetrics",
     "rejection_rate",
     "cost_breakdown",
     "balance_index",
@@ -215,10 +230,12 @@ __all__ = [
     "app_mix_registry",
     "efficiency_registry",
     "event_profile_registry",
+    "admission_policy_registry",
     "register_algorithm",
     "register_topology",
     "register_trace",
     "register_app_mix",
     "register_efficiency",
     "register_event_profile",
+    "register_admission_policy",
 ]

@@ -63,6 +63,7 @@ from repro.registry import (
 from repro.scenarios import profiles as _event_profiles  # noqa: F401 (registers presets)
 from repro.scenarios.events import DISRUPTION_POLICIES, EventSchedule
 from repro.sim.engine import SimulationResult, simulate
+from repro.sim.session import SimulationSession
 from repro.sim.metrics import (
     availability,
     balance_index,
@@ -577,6 +578,89 @@ class Experiment:
     def seed(self, base_seed: int) -> "Experiment":
         """Set the base seed of the repetition ladder."""
         return self.with_config(base_seed=base_seed)
+
+    # -- streaming ------------------------------------------------------------
+
+    def _streaming_point(self, algorithm: str | None, seed: int | None):
+        """Resolve the single configured point for stream()/serve()."""
+        if self._sweeps:
+            raise SimulationError(
+                "stream()/serve() drive one configured point; this "
+                f"experiment sweeps {[p for p, _ in self._sweeps]} — "
+                "expand points() and build one session per point instead"
+            )
+        name = algorithm if algorithm is not None else self._algorithms[0]
+        algorithm_registry.get(name)  # fail fast on unknown names
+        kwargs = dict(self._perturbations)
+        events = kwargs.pop("events", None)
+        policy = kwargs.pop("event_policy", None)
+        kwargs.setdefault("with_plan", algorithms_need_plan((name,)))
+        seed = self.config.base_seed if seed is None else seed
+        scenario = build_scenario(self.config, seed, **kwargs)
+        schedule = resolve_events(events, scenario, seed, policy)
+        return scenario, make_algorithm(name, scenario), schedule
+
+    def stream(
+        self, algorithm: str | None = None, seed: int | None = None
+    ) -> SimulationSession:
+        """Open a streaming session over this experiment's online trace.
+
+        Builds the configured scenario (plan included when the algorithm
+        needs one), pre-submits its online request stream, and returns a
+        :class:`~repro.sim.session.SimulationSession` ready to be
+        stepped, checkpointed, or fed ad-hoc ``submit()`` arrivals.
+        Running it to the horizon is bit-identical to the batch
+        :meth:`run` engine for the same (algorithm, seed) point.
+
+        ``algorithm`` defaults to the first selected algorithm; ``seed``
+        to the config's base seed (repetition 0).
+        """
+        scenario, algo, schedule = self._streaming_point(algorithm, seed)
+        return SimulationSession(
+            algo,
+            scenario.online_requests(),
+            self.config.online_slots,
+            events=schedule,
+        )
+
+    def serve(
+        self,
+        algorithm: str | None = None,
+        seed: int | None = None,
+        admission="always",
+        admission_params: dict | None = None,
+        max_pending: int | None = None,
+        metrics_window: int = 512,
+        preload_trace: bool = False,
+    ) -> "EmbedderService":
+        """Stand up an :class:`~repro.serve.EmbedderService` for this point.
+
+        The service owns a fresh session over the configured scenario —
+        empty by default (live traffic arrives through ``offer()`` /
+        ``schedule()``); ``preload_trace=True`` pre-submits the
+        scenario's online trace so offers ride on top of the replayed
+        workload. ``admission``/``admission_params`` name a registered
+        admission policy; ``max_pending`` bounds the scheduled-arrival
+        queue (backpressure). The built scenario is attached as
+        ``service.scenario`` for traffic generators.
+        """
+        from repro.serve.service import EmbedderService
+
+        scenario, algo, schedule = self._streaming_point(algorithm, seed)
+        session = SimulationSession(
+            algo,
+            scenario.online_requests() if preload_trace else (),
+            self.config.online_slots,
+            events=schedule,
+        )
+        return EmbedderService(
+            session,
+            admission=admission,
+            admission_params=admission_params,
+            max_pending=max_pending,
+            metrics_window=metrics_window,
+            scenario=scenario,
+        )
 
     # -- execution ------------------------------------------------------------
 

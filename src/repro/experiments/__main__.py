@@ -9,6 +9,12 @@ Examples::
     python -m repro.experiments all --scale test
     python -m repro.experiments fig16 --topology Iris --no-cache
     python -m repro.experiments fig_resilience --scale test --event-policy preempt
+    python -m repro.experiments serve --scale test --admission queue-bound
+
+``serve`` stands up a live :class:`repro.serve.EmbedderService` (one
+algorithm behind a pluggable admission policy) and drives it with a
+generated Poisson arrival process, streaming rolling metrics as it
+goes — the streaming-session counterpart of the batch figure targets.
 
 ``list`` prints every figure target plus the component registries
 (algorithms, topologies, trace kinds, app mixes, efficiency models) —
@@ -59,7 +65,12 @@ FIGURES = {
     "fig15": "CAIDA-like demand",
     "fig16": "runtime scalability",
     "fig_resilience": "dynamic events: failures, drains, flash crowds",
+    "serve": "live embedding service driven by generated traffic",
 }
+
+#: Targets that are demos/services rather than paper figures — they are
+#: individually addressable but excluded from ``all``.
+NON_FIGURE_TARGETS = frozenset({"serve"})
 
 UTILIZATIONS = BENCH_UTILIZATIONS
 
@@ -71,6 +82,8 @@ def _algo_kwargs(args) -> dict:
 
 def _print_registries() -> None:
     """Print every component registry (live contents, incl. third-party)."""
+    import repro.serve  # noqa: F401  (registers the admission policies)
+
     print("\nalgorithms (--algo):")
     for entry in registry.algorithm_registry.entries():
         plan = "plan" if entry.needs_plan else "no plan"
@@ -82,6 +95,8 @@ def _print_registries() -> None:
         ("efficiency models (config.efficiency)", registry.efficiency_registry),
         ("event profiles (fig_resilience, api.events)",
          registry.event_profile_registry),
+        ("admission policies (serve --admission)",
+         registry.admission_policy_registry),
     ):
         print(f"\n{title}:")
         for entry in reg.entries():
@@ -198,6 +213,47 @@ def _render_fig16(config: ExperimentConfig, args) -> int:
     return 0
 
 
+def _render_serve(config: ExperimentConfig, args) -> int:
+    """Drive a live EmbedderService with generated Poisson traffic."""
+    from repro.api import Experiment
+    from repro.serve import poisson_offers
+    from repro.utils.rng import child_rng, make_rng
+
+    algorithm = (args.algo or ["OLIVE"])[0]
+    service = (
+        Experiment(config)
+        .algorithms(algorithm)
+        .serve(
+            seed=args.seed,
+            admission=args.admission,
+            max_pending=args.max_pending,
+        )
+    )
+    rng = child_rng(make_rng(args.seed), "serve-traffic")
+    slots = config.online_slots
+    report_every = max(1, slots // 5)
+    print(
+        f"  serving {algorithm} on {config.topology} for {slots} slots "
+        f"(admission={args.admission})"
+    )
+    for slot, batch in poisson_offers(service.scenario, slots, rng):
+        for request in batch:
+            service.offer(request)
+        service.advance_to(slot + 1)
+        latest = service.metrics.latest
+        if latest is not None and (slot + 1) % report_every == 0:
+            print(f"  {latest.describe()}")
+    result = service.finish()
+    metrics = service.metrics.latest
+    print(
+        f"  done: {metrics.offers} offers, {metrics.accepted} accepted, "
+        f"{metrics.rejected} rejected, {metrics.shed} shed; "
+        f"algorithm time {result.runtime_seconds:.3f}s "
+        f"({result.requests_per_second:.0f} req/s)"
+    )
+    return 0
+
+
 def _render_fig_resilience(config: ExperimentConfig, args) -> int:
     data = figures.run_resilience(
         config, policy=args.event_policy, **_algo_kwargs(args)
@@ -228,6 +284,7 @@ RENDERERS = {
     "fig15": _render_fig15,
     "fig16": _render_fig16,
     "fig_resilience": _render_fig_resilience,
+    "serve": _render_serve,
 }
 
 
@@ -253,6 +310,20 @@ def build_parser() -> argparse.ArgumentParser:
         choices=("preempt", "reroute"),
         default="reroute",
         help="how fig_resilience handles requests stranded by failures",
+    )
+    parser.add_argument(
+        "--admission",
+        default="always",
+        metavar="POLICY",
+        help="admission policy for the serve target (see 'list' for "
+        "registered policies)",
+    )
+    parser.add_argument(
+        "--max-pending",
+        type=int,
+        default=None,
+        help="serve target: bound on the scheduled-arrival queue "
+        "(backpressure; default unbounded)",
     )
     parser.add_argument("--utilization", type=float, default=1.0)
     parser.add_argument("--repetitions", type=int, default=1)
@@ -325,6 +396,15 @@ def main(argv: list[str] | None = None) -> int:
                 f"{list(registry.algorithm_registry.names())}"
             )
 
+    if args.figure == "serve":
+        import repro.serve  # noqa: F401  (registers the admission policies)
+
+        if args.admission not in registry.admission_policy_registry:
+            parser.error(
+                f"unknown admission policy {args.admission!r}; known: "
+                f"{list(registry.admission_policy_registry.names())}"
+            )
+
     set_default_runner(ParallelRunner.from_jobs(args.jobs))
     configure_cache(enabled=not args.no_cache, root=args.cache_dir)
 
@@ -338,6 +418,8 @@ def main(argv: list[str] | None = None) -> int:
     if args.figure == "all":
         failures = 0
         for name in RENDERERS:
+            if name in NON_FIGURE_TARGETS:
+                continue
             code = _run_figure(name, config, args)
             if code != 0 and not (name == "fig12" and args.topology != "Iris"):
                 failures += 1

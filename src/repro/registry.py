@@ -48,12 +48,14 @@ __all__ = [
     "app_mix_registry",
     "efficiency_registry",
     "event_profile_registry",
+    "admission_policy_registry",
     "register_algorithm",
     "register_topology",
     "register_trace",
     "register_app_mix",
     "register_efficiency",
     "register_event_profile",
+    "register_admission_policy",
 ]
 
 
@@ -209,6 +211,8 @@ app_mix_registry = Registry("app mix", error=ApplicationError)
 efficiency_registry = Registry("efficiency model", error=SimulationError)
 #: Dynamic-event profiles: ``factory(scenario, rng) -> EventSchedule``.
 event_profile_registry = Registry("event profile", error=SimulationError)
+#: Service admission policies: ``factory(**params) -> AdmissionPolicy``.
+admission_policy_registry = Registry("admission policy", error=SimulationError)
 
 register_algorithm = algorithm_registry.register
 register_topology = topology_registry.register
@@ -216,3 +220,4 @@ register_trace = trace_registry.register
 register_app_mix = app_mix_registry.register
 register_efficiency = efficiency_registry.register
 register_event_profile = event_profile_registry.register
+register_admission_policy = admission_policy_registry.register

@@ -11,6 +11,7 @@ from repro.scenarios.events import (
     CapacityDegradation,
     DISRUPTION_POLICIES,
     Event,
+    EventCursor,
     EventSchedule,
     FlashCrowd,
     IngressMigration,
@@ -27,6 +28,7 @@ __all__ = [
     "CapacityDegradation",
     "DISRUPTION_POLICIES",
     "Event",
+    "EventCursor",
     "EventSchedule",
     "FlashCrowd",
     "IngressMigration",

@@ -253,9 +253,37 @@ class EventSchedule:
         """The slot's capacity events, in schedule order."""
         return self._capacity_by_slot.get(slot, ())
 
+    def cursor(self, next_slot: int = 0, consumed: int = 0) -> "EventCursor":
+        """A resumable read position over this schedule's capacity events.
+
+        The streaming session consumes events through a cursor so a
+        checkpoint can record exactly how far the schedule has been
+        applied (see :class:`EventCursor`).
+        """
+        return EventCursor(self, next_slot=next_slot, consumed=consumed)
+
     def with_policy(self, policy: str) -> "EventSchedule":
         """A copy of this schedule under a different disruption policy."""
         return EventSchedule(self.events, policy=policy, name=self.name)
+
+    def apply_migrations(self, request: Request) -> Request:
+        """One request with any matching ingress migrations applied.
+
+        The identical per-request rewrite :meth:`transform_requests`
+        performs on the seed stream — used by the streaming session so
+        an ad-hoc ``submit()`` arrival is re-homed exactly like a trace
+        arrival in the same window would have been. Returns the input
+        unchanged when no migration matches.
+        """
+        for migration in self._migrations:
+            if (
+                migration.slot <= request.arrival < migration.until
+                and request.ingress == migration.source
+            ):
+                request = dataclasses.replace(
+                    request, ingress=migration.target
+                )
+        return request
 
     def transform_requests(self, requests: list[Request]) -> list[Request]:
         """Apply the workload events to the online stream, deterministically.
@@ -269,17 +297,7 @@ class EventSchedule:
         cached = self._transform_cache
         if cached is not None and cached[0] is requests:
             return cached[1]
-        transformed = []
-        for request in requests:
-            for migration in self._migrations:
-                if (
-                    migration.slot <= request.arrival < migration.until
-                    and request.ingress == migration.source
-                ):
-                    request = dataclasses.replace(
-                        request, ingress=migration.target
-                    )
-            transformed.append(request)
+        transformed = [self.apply_migrations(request) for request in requests]
         transformed.extend(self._injected)
         transformed.sort()
         self._transform_cache = (requests, transformed)
@@ -345,6 +363,60 @@ class EventSchedule:
         return (
             f"EventSchedule({len(self.events)} events{label}, "
             f"policy={self.policy!r})"
+        )
+
+
+class EventCursor:
+    """A resumable read position over a schedule's capacity events.
+
+    The schedule itself is immutable and randomly addressable
+    (:meth:`EventSchedule.capacity_events_at`); what a *run* needs on top
+    is a record of how far it has consumed the schedule — which slot
+    comes next and how many capacity events have been applied (the
+    ``num_events`` accounting). Keeping that here makes the simulation
+    session's checkpoint/restore trivial: :meth:`state` is two integers,
+    and :meth:`EventSchedule.cursor` rebuilds the position exactly.
+    """
+
+    __slots__ = ("schedule", "next_slot", "consumed")
+
+    def __init__(
+        self, schedule: EventSchedule, next_slot: int = 0, consumed: int = 0
+    ) -> None:
+        self.schedule = schedule
+        self.next_slot = next_slot
+        self.consumed = consumed
+
+    def advance(self, slot: int) -> tuple[Event, ...]:
+        """Consume and return the capacity events of ``slot``.
+
+        Slots must be consumed in order, each exactly once — rewinding or
+        skipping would desynchronize the residual state from the
+        schedule, so both fail fast.
+        """
+        if slot != self.next_slot:
+            raise SimulationError(
+                f"event cursor expected slot {self.next_slot}, "
+                f"got {slot}; slots must be consumed in order"
+            )
+        events = self.schedule.capacity_events_at(slot)
+        self.next_slot = slot + 1
+        self.consumed += len(events)
+        return events
+
+    @property
+    def exhausted(self) -> bool:
+        """Whether every capacity event lies behind the cursor."""
+        return self.next_slot > self.schedule.max_capacity_slot
+
+    def state(self) -> tuple[int, int]:
+        """``(next_slot, consumed)`` — everything a checkpoint needs."""
+        return (self.next_slot, self.consumed)
+
+    def __repr__(self) -> str:
+        return (
+            f"EventCursor(next_slot={self.next_slot}, "
+            f"consumed={self.consumed} of {self.schedule!r})"
         )
 
 

@@ -1,0 +1,51 @@
+"""The serving layer: a long-running embedder behind an admission API.
+
+Built on the streaming :class:`~repro.sim.session.SimulationSession`,
+:class:`EmbedderService` models the ROADMAP north-star of an embedder
+serving live traffic: synchronous ``offer() → Decision`` admission with
+registry-pluggable policies (:mod:`repro.serve.admission`), bounded
+queues with backpressure, micro-batched same-slot offers, and rolling
+operational metrics (:mod:`repro.serve.metrics`).
+
+Quick start::
+
+    from repro.api import Experiment
+    from repro.experiments.config import ExperimentConfig
+
+    service = (
+        Experiment(ExperimentConfig.test())
+        .algorithms("OLIVE")
+        .serve(seed=0, admission="queue-bound",
+               admission_params={"max_pending": 32})
+    )
+    decision = service.offer(request)      # synchronous admission
+    print(service.metrics.latest)          # rolling operational metrics
+    result = service.finish()              # the usual SimulationResult
+"""
+
+from repro.registry import (
+    admission_policy_registry,
+    register_admission_policy,
+)
+from repro.serve.admission import (
+    AdmissionPolicy,
+    QueueBound,
+    TokenBucket,
+    UtilizationGuard,
+)
+from repro.serve.metrics import MetricsStream, ServiceMetrics
+from repro.serve.service import EmbedderService
+from repro.serve.traffic import poisson_offers
+
+__all__ = [
+    "AdmissionPolicy",
+    "EmbedderService",
+    "MetricsStream",
+    "QueueBound",
+    "ServiceMetrics",
+    "TokenBucket",
+    "UtilizationGuard",
+    "admission_policy_registry",
+    "poisson_offers",
+    "register_admission_policy",
+]

@@ -1,0 +1,176 @@
+"""Admission policies: who gets to talk to the embedder at all.
+
+An :class:`~repro.serve.service.EmbedderService` consults its admission
+policy *before* the embedding algorithm sees an offer — the policy is
+the service's first line of defense (backpressure, overload shedding,
+rate limiting), distinct from the algorithm's own accept/reject
+decision. Policies are registered in
+:data:`repro.registry.admission_policy_registry`, so third-party code
+plugs in new ones the same way it registers algorithms::
+
+    from repro.registry import register_admission_policy
+    from repro.serve.admission import AdmissionPolicy
+
+    @register_admission_policy("ingress-blocklist",
+                               description="shed traffic from hot PoPs")
+    def _make_blocklist(nodes=()):
+        return Blocklist(frozenset(nodes))
+
+A policy is a small object with one method::
+
+    decide(request, service) -> str | None
+
+returning ``None`` to admit or a short human-readable reason to shed
+(the reason feeds the service's metrics). Policies may keep state (the
+token bucket does) and may read the service — current slot, queue
+depth, utilization — but must not mutate it.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SimulationError
+from repro.registry import register_admission_policy
+from repro.workload.request import Request
+
+
+class AdmissionPolicy:
+    """Base class: admit everything; subclasses override :meth:`decide`."""
+
+    #: Registry name (informational; set by the service when resolving).
+    name = "always"
+
+    def decide(self, request: Request, service) -> str | None:
+        """``None`` to admit ``request``, else a shed reason."""
+        return None
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+class QueueBound(AdmissionPolicy):
+    """Shed offers while the pending-arrival queue is at capacity.
+
+    The classic bounded-queue backpressure: scheduled-but-unprocessed
+    arrivals (``service.pending_count``) form the queue; once it holds
+    ``max_pending`` requests, new offers are shed instead of queued.
+    """
+
+    name = "queue-bound"
+
+    def __init__(self, max_pending: int = 64) -> None:
+        if max_pending < 1:
+            raise SimulationError(
+                f"queue-bound needs max_pending >= 1 (got {max_pending})"
+            )
+        self.max_pending = max_pending
+
+    def decide(self, request: Request, service) -> str | None:
+        if service.pending_count >= self.max_pending:
+            return f"queue full ({self.max_pending} pending)"
+        return None
+
+    def __repr__(self) -> str:
+        return f"QueueBound(max_pending={self.max_pending})"
+
+
+class UtilizationGuard(AdmissionPolicy):
+    """Shed offers while substrate node utilization is above a threshold.
+
+    Protects tail latency and leaves headroom for planned traffic: when
+    mean node utilization reaches ``threshold``, further offers are shed
+    before the algorithm spends any work on them.
+    """
+
+    name = "utilization-guard"
+
+    def __init__(self, threshold: float = 0.95) -> None:
+        if not 0.0 < threshold <= 1.0:
+            raise SimulationError(
+                f"utilization-guard needs 0 < threshold <= 1 "
+                f"(got {threshold})"
+            )
+        self.threshold = threshold
+
+    def decide(self, request: Request, service) -> str | None:
+        utilization = service.utilization()
+        if utilization >= self.threshold:
+            return f"utilization {utilization:.2f} >= {self.threshold:.2f}"
+        return None
+
+    def __repr__(self) -> str:
+        return f"UtilizationGuard(threshold={self.threshold})"
+
+
+class TokenBucket(AdmissionPolicy):
+    """Deterministic per-slot rate limiter with a burst allowance.
+
+    ``rate`` tokens are added at the start of every slot (capped at
+    ``burst``); each admitted offer consumes one. Entirely deterministic
+    in slot time, so rate-limited runs stay reproducible.
+    """
+
+    name = "token-bucket"
+
+    def __init__(self, rate: float = 8.0, burst: float | None = None) -> None:
+        if rate <= 0:
+            raise SimulationError(
+                f"token-bucket needs a positive rate (got {rate})"
+            )
+        self.rate = float(rate)
+        self.burst = float(burst) if burst is not None else 2.0 * self.rate
+        if self.burst < 1.0:
+            raise SimulationError(
+                f"token-bucket needs burst >= 1 (got {self.burst})"
+            )
+        self._tokens = self.burst
+        self._last_slot: int | None = None
+
+    def decide(self, request: Request, service) -> str | None:
+        slot = service.current_slot
+        if self._last_slot is None:
+            self._last_slot = slot
+        elif slot > self._last_slot:
+            self._tokens = min(
+                self.burst, self._tokens + self.rate * (slot - self._last_slot)
+            )
+            self._last_slot = slot
+        if self._tokens < 1.0:
+            return f"rate limited ({self.rate:g}/slot)"
+        self._tokens -= 1.0
+        return None
+
+    def __repr__(self) -> str:
+        return f"TokenBucket(rate={self.rate:g}, burst={self.burst:g})"
+
+
+@register_admission_policy(
+    "always", description="admit every offer (no shedding)"
+)
+def _make_always() -> AdmissionPolicy:
+    return AdmissionPolicy()
+
+
+@register_admission_policy(
+    "queue-bound",
+    description="bounded pending queue: shed offers when it is full",
+)
+def _make_queue_bound(max_pending: int = 64) -> QueueBound:
+    return QueueBound(max_pending=max_pending)
+
+
+@register_admission_policy(
+    "utilization-guard",
+    description="shed offers above a node-utilization threshold",
+)
+def _make_utilization_guard(threshold: float = 0.95) -> UtilizationGuard:
+    return UtilizationGuard(threshold=threshold)
+
+
+@register_admission_policy(
+    "token-bucket",
+    description="deterministic per-slot rate limiter with burst",
+)
+def _make_token_bucket(
+    rate: float = 8.0, burst: float | None = None
+) -> TokenBucket:
+    return TokenBucket(rate=rate, burst=burst)

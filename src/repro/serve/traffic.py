@@ -1,0 +1,81 @@
+"""Synthetic live-traffic generators for driving an EmbedderService.
+
+The offline trace machinery (:mod:`repro.workload.trace`) materializes
+a whole horizon upfront — the right shape for batch experiments, the
+wrong one for a service demo. :func:`poisson_offers` instead yields one
+slot's worth of arrivals at a time, so a driver loop can ``offer()``
+them as they "happen"::
+
+    for slot, batch in poisson_offers(scenario, slots=200, rng=rng):
+        for request in batch:
+            service.offer(request)
+
+The draws mirror the paper's workload shape (Poisson arrivals per node,
+N(μ, σ) demand clamped to a positive floor, geometric-ish durations)
+but deliberately stay independent of the trace generators — live
+traffic is *new* load, not a replay.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.workload.request import Request
+
+#: Id offset for generated live traffic, far above any trace id.
+LIVE_ID_BASE = 10_000_000
+
+
+def poisson_offers(
+    scenario,
+    slots: int,
+    rng: np.random.Generator,
+    rate_per_node: float | None = None,
+    start_slot: int = 0,
+    id_base: int = LIVE_ID_BASE,
+) -> Iterator[tuple[int, list[Request]]]:
+    """Yield ``(slot, requests)`` batches of synthetic live arrivals.
+
+    ``rate_per_node`` defaults to the scenario config's
+    ``arrivals_per_node`` divided by the number of applications — the
+    same mean pressure the offline trace would apply. Ids are disjoint
+    from any trace (``id_base`` upward), so generated traffic can ride
+    on top of a preloaded stream.
+    """
+    config = scenario.config
+    nodes = sorted(scenario.substrate.nodes)
+    num_apps = len(scenario.apps)
+    if not nodes or num_apps == 0:
+        raise SimulationError("scenario has no substrate nodes or no apps")
+    if rate_per_node is None:
+        rate_per_node = config.arrivals_per_node / max(1, num_apps)
+    rate = rate_per_node * len(nodes)
+    if rate <= 0:
+        raise SimulationError(f"offer rate must be positive (got {rate})")
+    # Match the scenario's demand scale (the utilization-targeted mean)
+    # so live traffic stresses the substrate like the offline trace did.
+    trace_config = getattr(scenario.trace, "config", None)
+    demand_mean = getattr(trace_config, "demand_mean", 10.0)
+    demand_std = getattr(trace_config, "demand_std", 4.0)
+    next_id = id_base
+    for slot in range(start_slot, start_slot + slots):
+        count = int(rng.poisson(rate))
+        batch: list[Request] = []
+        for _ in range(count):
+            demand = max(0.1, float(rng.normal(demand_mean, demand_std)))
+            duration = max(1, int(rng.geometric(1.0 / config.duration_mean)))
+            batch.append(
+                Request.trusted(
+                    arrival=slot,
+                    id=next_id,
+                    app_index=int(rng.integers(num_apps)),
+                    ingress=nodes[int(rng.integers(len(nodes)))],
+                    demand=demand,
+                    duration=duration,
+                )
+            )
+            next_id += 1
+        yield slot, batch

@@ -1,4 +1,4 @@
-"""Discrete-time simulation engine, metrics, and the experiment runner."""
+"""Discrete-time simulation engine, sessions, metrics, and the runner."""
 
 from repro.sim.engine import SimulationResult, SlotSimulator, simulate
 from repro.sim.metrics import (
@@ -16,10 +16,14 @@ from repro.sim.runner import (
     repeat_runs,
     set_default_runner,
 )
+from repro.sim.session import SessionSnapshot, SimulationSession, SlotReport
 
 __all__ = [
     "SlotSimulator",
     "SimulationResult",
+    "SimulationSession",
+    "SessionSnapshot",
+    "SlotReport",
     "simulate",
     "rejection_rate",
     "cost_breakdown",

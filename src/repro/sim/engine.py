@@ -1,9 +1,14 @@
-"""The slot-based simulator driving online algorithms (Fig. 2 semantics).
+"""The batch simulation entry points and the result they assemble.
 
-Each slot: departures are released first (OLIVE Algorithm 2 line 5), then
-dynamic events are applied (if an :class:`~repro.scenarios.events.
-EventSchedule` is attached), then arrivals are processed one by one in
-arrival order. Two algorithm shapes are supported:
+Since the streaming-session redesign, the slot loop itself lives in
+:mod:`repro.sim.session` — :class:`SlotSimulator` and :func:`simulate`
+are thin wrappers that build a :class:`~repro.sim.session.
+SimulationSession` over the full request trace and run it to the
+horizon. The semantics (Fig. 2) are unchanged: each slot releases
+departures first (OLIVE Algorithm 2 line 5), then applies dynamic
+events (if an :class:`~repro.scenarios.events.EventSchedule` is
+attached), then processes arrivals in arrival order. Two algorithm
+shapes are supported:
 
 * per-request algorithms (OLIVE, QUICKG, FULLG) expose
   ``process(request) → Decision``;
@@ -19,13 +24,11 @@ the request stream before the run starts.
 
 from __future__ import annotations
 
-import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
 from repro.core.olive import Decision
-from repro.errors import SimulationError
 from repro.workload.request import Request
 
 
@@ -47,18 +50,21 @@ class SimulationResult:
     #: Wall-clock seconds spent inside the algorithm (runtime metric).
     runtime_seconds: float
 
+    # Derived fields: ``None`` means "compute from the primary fields" —
+    # an explicitly passed value (including an empty dict/set or 0) is
+    # kept as given, so callers can assert unusual shapes in tests.
     #: request id → Decision, for per-request lookups.
-    decision_by_id: dict[int, Decision] = field(default_factory=dict)
+    decision_by_id: dict[int, Decision] | None = None
     #: ids of requests that were preempted after acceptance.
-    preempted_ids: set[int] = field(default_factory=set)
+    preempted_ids: set[int] | None = None
     #: Number of requests processed (== len(decisions)).
-    num_requests: int = 0
+    num_requests: int | None = None
     #: Accepted requests dropped by a dynamic event's disruption policy,
     #: with the slot it happened. A subset of :attr:`preemptions` — a
     #: disrupted request also counts as preempted (it never completed).
-    disruptions: list[tuple[Request, int]] = field(default_factory=list)
+    disruptions: list[tuple[Request, int]] | None = None
     #: ids of requests dropped by dynamic events.
-    disrupted_ids: set[int] = field(default_factory=set)
+    disrupted_ids: set[int] | None = None
     #: Number of dynamic events the schedule contributed to this run:
     #: capacity events applied slot-by-slot plus workload events
     #: (flash crowds, migrations) consumed when the request stream was
@@ -66,24 +72,38 @@ class SimulationResult:
     num_events: int = 0
 
     def __post_init__(self) -> None:
-        if not self.decision_by_id:
+        if self.decision_by_id is None:
             self.decision_by_id = {d.request.id: d for d in self.decisions}
-        if not self.preempted_ids:
+        if self.preempted_ids is None:
             self.preempted_ids = {r.id for r, _ in self.preemptions}
-        if not self.num_requests:
+        if self.num_requests is None:
             self.num_requests = len(self.decisions)
-        if not self.disrupted_ids:
+        if self.disruptions is None:
+            self.disruptions = []
+        if self.disrupted_ids is None:
             self.disrupted_ids = {r.id for r, _ in self.disruptions}
 
     @property
     def slots_per_second(self) -> float:
-        """Hot-path throughput in simulated slots per algorithm second."""
-        return self.num_slots / max(self.runtime_seconds, 1e-12)
+        """Hot-path throughput in simulated slots per algorithm second.
+
+        0.0 on a run whose recorded runtime is zero (nothing meaningful
+        to report) rather than an astronomically large artifact.
+        """
+        if self.runtime_seconds <= 0.0:
+            return 0.0
+        return self.num_slots / self.runtime_seconds
 
     @property
     def requests_per_second(self) -> float:
-        """Hot-path throughput in requests per algorithm second."""
-        return self.num_requests / max(self.runtime_seconds, 1e-12)
+        """Hot-path throughput in requests per algorithm second.
+
+        0.0 on a run whose recorded runtime is zero, like
+        :attr:`slots_per_second`.
+        """
+        if self.runtime_seconds <= 0.0:
+            return 0.0
+        return self.num_requests / self.runtime_seconds
 
     def served(self, request: Request) -> bool:
         """Accepted and never preempted."""
@@ -96,7 +116,14 @@ class SimulationResult:
 
 
 class SlotSimulator:
-    """Drives one algorithm over one online request stream."""
+    """Drives one algorithm over one online request stream (batch shape).
+
+    A thin wrapper over :class:`~repro.sim.session.SimulationSession`:
+    the constructor performs the same validation (and workload-event
+    stream transform) as always, and :meth:`run` executes every slot of
+    the horizon in one call. Use a session directly for streaming,
+    ad-hoc submissions, or checkpoint/resume.
+    """
 
     def __init__(
         self,
@@ -105,126 +132,19 @@ class SlotSimulator:
         num_slots: int,
         events=None,
     ) -> None:
+        from repro.sim.session import SimulationSession
+
+        self.session = SimulationSession(
+            algorithm, requests, num_slots, events=events
+        )
         self.algorithm = algorithm
-        if events is not None and not events.is_empty:
-            # Fail fast on events referencing unknown substrate elements —
-            # a bad schedule should not die mid-run with a raw KeyError.
-            substrate = getattr(algorithm, "substrate", None)
-            if substrate is not None:
-                events.validate(substrate)
-            # Workload events rewrite the stream deterministically before
-            # the run; every compared algorithm sees the identical
-            # perturbed trace (the paper's same-trace methodology). The
-            # input is not mutated, and the schedule memoizes the
-            # transform per input list, so simulating several algorithms
-            # over one stream pays for it once.
-            requests = events.transform_requests(requests)
-            if events.has_capacity_events and not hasattr(
-                algorithm, "apply_events"
-            ):
-                raise SimulationError(
-                    f"algorithm {algorithm.name!r} does not support "
-                    "dynamic capacity events (no apply_events method)"
-                )
-            if events.max_event_slot >= num_slots:
-                # Mirror the out-of-horizon request check below: an event
-                # (or injected arrival) past the last slot would silently
-                # never fire.
-                raise SimulationError(
-                    f"event schedule needs slot {events.max_event_slot}, "
-                    f"beyond the {num_slots}-slot horizon"
-                )
-            self.events = events
-        else:
-            self.events = None
-        self.requests = sorted(requests)
+        #: The sorted (and workload-event-transformed) request stream.
+        self.requests = self.session.requests
         self.num_slots = num_slots
-        for request in self.requests:
-            if request.arrival >= num_slots:
-                raise SimulationError(
-                    f"request {request.id} arrives at {request.arrival}, "
-                    f"beyond the {num_slots}-slot horizon"
-                )
+        self.events = self.session.events
 
     def run(self) -> SimulationResult:
-        arrivals_by_slot: dict[int, list[Request]] = {}
-        departures_by_slot: dict[int, list[Request]] = {}
-        for request in self.requests:
-            arrivals_by_slot.setdefault(request.arrival, []).append(request)
-            if request.departure < self.num_slots:
-                departures_by_slot.setdefault(request.departure, []).append(
-                    request
-                )
-
-        decisions: list[Decision] = []
-        preemptions: list[tuple[Request, int]] = []
-        disruptions: list[tuple[Request, int]] = []
-        # Workload events were already consumed transforming the request
-        # stream in __init__; capacity events add to the tally as the loop
-        # applies them.
-        num_events = (
-            self.events.num_workload_events if self.events is not None else 0
-        )
-        requested = np.zeros(self.num_slots)
-        allocated = np.zeros(self.num_slots)
-        resource_cost = np.zeros(self.num_slots)
-        runtime = 0.0
-        is_batch = hasattr(self.algorithm, "run_slot")
-        release = self.algorithm.release
-        process = None if is_batch else self.algorithm.process
-        on_slot = getattr(self.algorithm, "on_slot", None)
-        append_decision = decisions.append
-        no_departures: list[Request] = []
-        no_arrivals: list[Request] = []
-
-        for t in range(self.num_slots):
-            arrivals = arrivals_by_slot.get(t, no_arrivals)
-            requested[t] = sum(r.demand for r in arrivals)
-
-            start = time.perf_counter()
-            for request in departures_by_slot.get(t, no_departures):
-                release(request)
-            if self.events is not None:
-                slot_events = self.events.capacity_events_at(t)
-                if slot_events:
-                    num_events += len(slot_events)
-                    dropped = self.algorithm.apply_events(
-                        t, slot_events, self.events.policy
-                    )
-                    for request in dropped:
-                        disruptions.append((request, t))
-                        preemptions.append((request, t))
-            if on_slot is not None:
-                on_slot(t)
-            if is_batch:
-                slot_result = self.algorithm.run_slot(t, arrivals)
-                decisions.extend(slot_result.decisions)
-                preemptions.extend((r, t) for r in slot_result.dropped)
-            else:
-                for request in arrivals:
-                    decision = process(request)
-                    append_decision(decision)
-                    if decision.preempted:
-                        preemptions.extend(
-                            (r, t) for r in decision.preempted
-                        )
-            runtime += time.perf_counter() - start
-
-            allocated[t] = self.algorithm.active_demand()
-            resource_cost[t] = self.algorithm.active_cost_per_slot()
-
-        return SimulationResult(
-            algorithm_name=self.algorithm.name,
-            num_slots=self.num_slots,
-            decisions=decisions,
-            preemptions=preemptions,
-            requested_demand=requested,
-            allocated_demand=allocated,
-            resource_cost=resource_cost,
-            runtime_seconds=runtime,
-            disruptions=disruptions,
-            num_events=num_events,
-        )
+        return self.session.run()
 
 
 def simulate(
@@ -233,7 +153,7 @@ def simulate(
     num_slots: int,
     events=None,
 ) -> SimulationResult:
-    """Convenience wrapper: build a :class:`SlotSimulator` and run it.
+    """Convenience wrapper: run a full-horizon batch simulation.
 
     ``events`` is an optional
     :class:`~repro.scenarios.events.EventSchedule` the simulation

@@ -14,9 +14,19 @@ This is the hardest test the path cache faces: capacity events flow
 through the same dirty log as allocations, so a stale feasibility band
 after a failure/recovery would mis-route exactly one request — and show
 up here as a divergence.
+
+Since the streaming-session redesign the oracle has a third leg
+(:class:`TestSessionOracle`): for every registered algorithm × event
+profile, a ``step()``-driven :class:`~repro.sim.session.
+SimulationSession` and a session checkpointed at a mid-run slot and
+resumed must both be bit-identical to the batch ``simulate()`` run of
+the same stream — decisions, preemptions, disruptions, per-slot arrays
+and the event tally.
 """
 
 from __future__ import annotations
+
+import random
 
 import numpy as np
 import pytest
@@ -35,7 +45,10 @@ from repro.scenarios.events import (
     NodeDrain,
     NodeRestore,
 )
+from repro.experiments.scenario import make_algorithm
+from repro.registry import algorithm_registry
 from repro.sim.engine import simulate
+from repro.sim.session import SimulationSession
 from tests.test_fastpath_equivalence import assert_results_identical
 
 #: Every registered profile is part of the oracle contract; a new profile
@@ -214,3 +227,91 @@ class TestEventOracle:
                 scenario.config.online_slots, events=schedule,
             )
             assert np.all(result.allocated_demand >= 0), profile
+
+
+# -- the session leg ----------------------------------------------------------
+
+#: Every registered algorithm is part of the session-oracle contract.
+ALL_ALGORITHMS = algorithm_registry.names()
+
+#: SLOTOFF's per-slot LP dominates wall-clock; a smaller horizon keeps
+#: its 6-profile sweep inside the slow tier's budget without weakening
+#: the contract (events still fire and strand allocations).
+_SESSION_CONFIGS = {
+    "SLOTOFF": ExperimentConfig.test(
+        online_slots=10, measure_start=2, measure_stop=8, history_slots=60,
+        utilization=1.4, arrivals_per_node=4.0, num_quantiles=4,
+    ),
+    None: ExperimentConfig.test(utilization=1.4),
+}
+
+_SESSION_SCENARIOS: dict = {}
+
+
+def _session_scenario(algorithm_name):
+    """One planned scenario per config shape, shared across profiles."""
+    config = _SESSION_CONFIGS.get(algorithm_name, _SESSION_CONFIGS[None])
+    key = id(config)
+    if key not in _SESSION_SCENARIOS:
+        _SESSION_SCENARIOS[key] = build_scenario(config, seed=21)
+    return _SESSION_SCENARIOS[key]
+
+
+def _assert_session_identical(streamed, batch) -> None:
+    _assert_event_results_identical(streamed, batch)
+    assert streamed.requested_demand.tolist() == (
+        batch.requested_demand.tolist()
+    )
+
+
+def _check_step_and_restore(algorithm_name: str, profile: str) -> None:
+    """Step-driven and checkpoint/restored sessions ≡ batch simulate()."""
+    scenario = _session_scenario(algorithm_name)
+    slots = scenario.config.online_slots
+    online = scenario.online_requests()
+    schedule = resolve_events(profile, scenario, 21, "preempt")
+
+    batch = simulate(
+        make_algorithm(algorithm_name, scenario), online, slots,
+        events=schedule,
+    )
+
+    session = SimulationSession(
+        make_algorithm(algorithm_name, scenario), online, slots,
+        events=schedule,
+    )
+    # Deterministic "random" checkpoint slot, different per combination.
+    split = random.Random(f"{algorithm_name}:{profile}").randrange(
+        1, slots - 1
+    )
+    session.run_until(split)
+    snapshot = session.snapshot()
+    session.run_until(slots)
+    _assert_session_identical(session.result(), batch)
+
+    resumed = SimulationSession.restore(snapshot)
+    assert resumed.clock == split
+    resumed.run_until(slots)
+    _assert_session_identical(resumed.result(), batch)
+
+
+class TestSessionOracle:
+    """Streaming sessions against the batch engine, all algorithms."""
+
+    @pytest.mark.parametrize("profile", ALL_PROFILES)
+    @pytest.mark.parametrize(
+        "algorithm",
+        [name for name in ALL_ALGORITHMS if name in ("OLIVE", "QUICKG")],
+    )
+    def test_core_algorithms_step_and_restore(self, algorithm, profile):
+        _check_step_and_restore(algorithm, profile)
+
+    @pytest.mark.slow
+    @pytest.mark.parametrize("profile", ALL_PROFILES)
+    @pytest.mark.parametrize(
+        "algorithm",
+        [name for name in ALL_ALGORITHMS if name not in ("OLIVE", "QUICKG")],
+    )
+    def test_remaining_algorithms_step_and_restore(self, algorithm, profile):
+        _check_step_and_restore(algorithm, profile)
+

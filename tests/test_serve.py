@@ -1,0 +1,306 @@
+"""Tests for the serving layer (repro.serve) and its facade entry points."""
+
+import pytest
+
+from repro.api import Experiment
+from repro.baselines.quickg import make_quickg
+from repro.baselines.slotoff import SlotOffAlgorithm
+from repro.errors import SimulationError
+from repro.experiments.config import ExperimentConfig
+from repro.registry import admission_policy_registry, register_admission_policy
+from repro.serve import (
+    AdmissionPolicy,
+    EmbedderService,
+    MetricsStream,
+    TokenBucket,
+    poisson_offers,
+)
+from repro.sim.session import SimulationSession
+from repro.utils.rng import make_rng
+from repro.workload.request import Request
+
+
+def _request(rid, arrival=0, demand=1.0, duration=3, ingress="edge-a", app=0):
+    return Request(
+        arrival=arrival, id=rid, app_index=app, ingress=ingress,
+        demand=demand, duration=duration,
+    )
+
+
+def _service(line_substrate, chain_app, num_slots=10, **kwargs):
+    session = SimulationSession(
+        make_quickg(line_substrate, [chain_app]), [], num_slots
+    )
+    return EmbedderService(session, **kwargs)
+
+
+class TestOffer:
+    def test_offer_returns_synchronous_decision(
+        self, line_substrate, chain_app
+    ):
+        service = _service(line_substrate, chain_app)
+        decision = service.offer(_request(1, arrival=0, demand=2.0))
+        assert decision.accepted
+        assert service.current_slot == 0  # micro-batch: slot stays open
+        assert service.metrics.offers == 1
+
+    def test_same_slot_offers_share_one_slot(self, line_substrate, chain_app):
+        service = _service(line_substrate, chain_app)
+        for rid in range(3):
+            service.offer(_request(rid, arrival=2))
+        assert service.current_slot == 2
+        report = service.tick()  # closes slot 2
+        assert len(report.decisions) == 3
+        assert service.current_slot == 3
+
+    def test_future_offer_drains_idle_slots(self, line_substrate, chain_app):
+        service = _service(line_substrate, chain_app)
+        service.offer(_request(1, arrival=0, duration=2))
+        seen = []
+        service.metrics.subscribe(lambda m: seen.append(m.slot))
+        decision = service.offer(_request(2, arrival=5))
+        assert decision.accepted
+        assert service.current_slot == 5
+        # Slots 1-4 were drained on the way (their departures happened).
+        assert seen == [1, 2, 3, 4, 5]
+
+    def test_late_and_out_of_horizon_offers_fail(
+        self, line_substrate, chain_app
+    ):
+        service = _service(line_substrate, chain_app)
+        service.advance_to(4)
+        with pytest.raises(SimulationError, match="already at slot 4"):
+            service.offer(_request(1, arrival=2))
+        with pytest.raises(SimulationError, match="horizon"):
+            service.offer(_request(2, arrival=10))
+        service.finish()
+        with pytest.raises(SimulationError, match="ended"):
+            service.offer(_request(3, arrival=9))
+
+    def test_offer_batch(self, line_substrate, chain_app):
+        service = _service(line_substrate, chain_app)
+        decisions = service.offer_batch(
+            [_request(rid, arrival=1) for rid in range(4)]
+        )
+        assert len(decisions) == 4 and all(d.accepted for d in decisions)
+        assert service.current_slot == 1
+
+    def test_finish_matches_session_result(self, line_substrate, chain_app):
+        service = _service(line_substrate, chain_app, num_slots=6)
+        service.offer(_request(1, arrival=0, demand=2.0, duration=2))
+        result = service.finish()
+        assert result.num_requests == 1
+        assert result.allocated_demand[0] == pytest.approx(2.0)
+        assert result.allocated_demand[3] == pytest.approx(0.0)
+        assert service.is_done
+
+    def test_batch_algorithms_are_rejected(self, line_substrate, chain_app):
+        session = SimulationSession(
+            SlotOffAlgorithm(line_substrate, [chain_app]), [], 5
+        )
+        with pytest.raises(SimulationError, match="batch shape"):
+            EmbedderService(session)
+
+    def test_requires_a_session(self):
+        with pytest.raises(SimulationError, match="SimulationSession"):
+            EmbedderService(object())
+
+
+class TestBackpressure:
+    def test_schedule_bounded_queue(self, line_substrate, chain_app):
+        service = _service(line_substrate, chain_app, max_pending=2)
+        assert service.schedule(_request(1, arrival=3))
+        assert service.schedule(_request(2, arrival=4))
+        assert not service.schedule(_request(3, arrival=5))  # shed
+        assert service.pending_count == 2
+        assert service.metrics.shed == 1
+        assert service.recent_shed[-1][0] == 3
+        # Draining the queue reopens it.
+        service.advance_to(5)
+        assert service.schedule(_request(4, arrival=6))
+
+    def test_queue_bound_admission_policy(self, line_substrate, chain_app):
+        service = _service(
+            line_substrate, chain_app,
+            admission="queue-bound", admission_params={"max_pending": 1},
+        )
+        service.schedule(_request(1, arrival=5))
+        shed = service.offer(_request(2, arrival=0))
+        assert not shed.accepted
+        assert service.metrics.shed == 1
+        # The algorithm never saw the shed offer.
+        service.tick()
+        assert service.session.result().num_requests == 0
+
+
+class TestAdmissionPolicies:
+    def test_token_bucket_is_deterministic(self, line_substrate, chain_app):
+        service = _service(
+            line_substrate, chain_app,
+            admission="token-bucket",
+            admission_params={"rate": 1.0, "burst": 2.0},
+        )
+        outcomes = [
+            service.offer(_request(rid, arrival=0, demand=0.1)).accepted
+            for rid in range(4)
+        ]
+        assert outcomes == [True, True, False, False]  # burst of 2, then dry
+        service.advance_to(1)
+        assert service.offer(_request(9, arrival=1, demand=0.1)).accepted
+
+    def test_utilization_guard(self, line_substrate, chain_app):
+        service = _service(
+            line_substrate, chain_app,
+            admission="utilization-guard",
+            admission_params={"threshold": 0.01},
+        )
+        assert service.offer(_request(1, arrival=0, demand=50.0)).accepted
+        assert service.utilization() > 0.01
+        shed = service.offer(_request(2, arrival=0, demand=1.0))
+        assert not shed.accepted
+        assert "utilization" in service.recent_shed[-1][2]
+
+    def test_policy_instances_and_bad_params(self, line_substrate, chain_app):
+        service = _service(
+            line_substrate, chain_app, admission=TokenBucket(rate=2.0)
+        )
+        assert service.offer(_request(1, arrival=0)).accepted
+        with pytest.raises(SimulationError, match="admission_params"):
+            _service(
+                line_substrate, chain_app,
+                admission=TokenBucket(rate=2.0),
+                admission_params={"rate": 1.0},
+            )
+        with pytest.raises(SimulationError, match="unknown admission policy"):
+            _service(line_substrate, chain_app, admission="nope")
+
+    def test_custom_policy_via_registry(self, line_substrate, chain_app):
+        class OddIdsOnly(AdmissionPolicy):
+            def decide(self, request, service):
+                return None if request.id % 2 else "even id"
+
+        register_admission_policy(
+            "odd-ids", description="test policy"
+        )(OddIdsOnly)
+        try:
+            service = _service(line_substrate, chain_app, admission="odd-ids")
+            assert service.offer(_request(1, arrival=0)).accepted
+            assert not service.offer(_request(2, arrival=0)).accepted
+        finally:
+            admission_policy_registry.unregister("odd-ids")
+
+
+class TestMetricsStream:
+    def test_counters_and_percentiles(self):
+        stream = MetricsStream(window=4)
+        for latency, accepted in (
+            (0.001, True), (0.002, True), (0.003, False), (0.004, True),
+        ):
+            stream.record_offer(accepted, latency)
+        stream.record_shed()
+        snapshot = stream.snapshot(slot=7, utilization=0.5, pending=3)
+        assert snapshot.offers == 5
+        assert snapshot.accepted == 3
+        assert snapshot.rejected == 1
+        assert snapshot.shed == 1
+        assert snapshot.acceptance_rate == pytest.approx(3 / 5)
+        assert snapshot.rolling_acceptance_rate == pytest.approx(3 / 4)
+        assert snapshot.p50_latency_ms == pytest.approx(3.0)
+        assert snapshot.p99_latency_ms == pytest.approx(4.0)
+        assert snapshot.pending == 3 and snapshot.slot == 7
+        assert "p99" in snapshot.describe()
+
+    def test_empty_stream_snapshot(self):
+        snapshot = MetricsStream().snapshot(slot=0, utilization=0.0, pending=0)
+        assert snapshot.acceptance_rate == 1.0
+        assert snapshot.p99_latency_ms == 0.0
+
+    def test_subscribers_fire_per_closed_slot(
+        self, line_substrate, chain_app
+    ):
+        service = _service(line_substrate, chain_app, num_slots=4)
+        slots = []
+        service.metrics.subscribe(lambda m: slots.append(m.slot))
+        service.finish()
+        assert slots == [1, 2, 3, 4]
+        assert service.metrics.latest.slot == 4
+
+    def test_window_validation(self):
+        with pytest.raises(ValueError):
+            MetricsStream(window=0)
+
+
+class TestServiceSnapshot:
+    def test_checkpoint_and_restore(self, line_substrate, chain_app):
+        service = _service(line_substrate, chain_app)
+        service.offer(_request(1, arrival=0, duration=9, demand=2.0))
+        service.advance_to(3)
+        snapshot = service.snapshot()
+        live = service
+        live.offer(_request(2, arrival=5))
+        final = live.finish()
+
+        resumed = EmbedderService.restore(snapshot)
+        assert resumed.current_slot == 3
+        resumed.offer(_request(2, arrival=5))
+        replayed = resumed.finish()
+        assert replayed.decisions == final.decisions
+
+
+class TestFacadeEntryPoints:
+    @pytest.fixture(scope="class")
+    def experiment(self):
+        return Experiment(ExperimentConfig.test()).algorithms("QUICKG")
+
+    def test_stream_rejects_sweeps(self, experiment):
+        swept = experiment.sweep("utilization", (0.6, 1.0))
+        with pytest.raises(SimulationError, match="sweep"):
+            swept.stream()
+
+    def test_stream_carries_events(self, experiment):
+        session = experiment.events("link-flap").stream(seed=5)
+        result = session.run()
+        assert result.num_events > 0
+
+    def test_serve_builds_a_live_service(self, experiment):
+        service = experiment.serve(
+            seed=1, admission="queue-bound",
+            admission_params={"max_pending": 128},
+        )
+        assert service.scenario is not None
+        assert service.pending_count == 0  # live traffic only by default
+        rng = make_rng(1)
+        offered = 0
+        for slot, batch in poisson_offers(
+            service.scenario, 3, rng, rate_per_node=0.5
+        ):
+            for request in batch:
+                offered += 1
+                service.offer(request)
+            service.advance_to(slot + 1)
+        assert service.metrics.offers == offered > 0
+        result = service.finish()
+        assert result.num_requests == offered
+
+    def test_serve_preloads_trace_on_request(self, experiment):
+        service = experiment.serve(seed=1, preload_trace=True)
+        assert service.pending_count > 0
+
+    def test_stream_unknown_algorithm(self, experiment):
+        with pytest.raises(SimulationError, match="unknown algorithm"):
+            experiment.stream(algorithm="NOPE")
+
+
+class TestServeCLI:
+    def test_cli_serve_smoke(self, capsys):
+        from repro.experiments.__main__ import main
+
+        code = main([
+            "serve", "--scale", "test", "--topology", "CittaStudi",
+            "--algo", "QUICKG", "--admission", "token-bucket",
+            "--seed", "2",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "serving QUICKG" in out
+        assert "done:" in out

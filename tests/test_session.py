@@ -1,0 +1,358 @@
+"""Unit tests for the streaming simulation session (repro.sim.session).
+
+The bit-identity of step-driven and checkpoint/restored sessions versus
+the batch engine — for every algorithm × event profile — is pinned by
+the differential oracle in ``tests/test_event_oracle.py``; this module
+covers the lifecycle mechanics: slot open/close rules, ad-hoc
+submission, partial results, snapshot semantics, and the resumable
+event cursor.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines.quickg import make_quickg
+from repro.baselines.slotoff import SlotOffAlgorithm
+from repro.errors import SimulationError
+from repro.scenarios.events import (
+    EventSchedule,
+    IngressMigration,
+    LinkFailure,
+    LinkRecovery,
+)
+from repro.sim.engine import simulate
+from repro.sim.session import SessionSnapshot, SimulationSession
+from repro.workload.request import Request
+
+
+def _request(rid, arrival=0, demand=1.0, duration=3, ingress="edge-a", app=0):
+    return Request(
+        arrival=arrival, id=rid, app_index=app, ingress=ingress,
+        demand=demand, duration=duration,
+    )
+
+
+@pytest.fixture
+def session(line_substrate, chain_app):
+    algorithm = make_quickg(line_substrate, [chain_app])
+    return SimulationSession(
+        algorithm, [_request(i, arrival=i % 4) for i in range(8)], 10
+    )
+
+
+class TestLifecycle:
+    def test_step_reports_cover_the_slot(self, line_substrate, chain_app):
+        algorithm = make_quickg(line_substrate, [chain_app])
+        requests = [
+            _request(1, arrival=0, demand=2.0, duration=2),
+            _request(2, arrival=0, demand=1.0, duration=5),
+        ]
+        session = SimulationSession(algorithm, requests, 6)
+        report = session.step()
+        assert report.slot == 0
+        assert [d.request.id for d in report.decisions] == [1, 2]
+        assert report.requested_demand == pytest.approx(3.0)
+        assert report.allocated_demand == pytest.approx(3.0)
+        assert report.num_accepted == 2
+        assert report.departures == ()
+        # Request 1 departs at slot 2.
+        session.step()
+        report = session.step()
+        assert [r.id for r in report.departures] == [1]
+        assert report.allocated_demand == pytest.approx(1.0)
+
+    def test_clock_and_done(self, session):
+        assert session.clock == 0 and not session.is_done
+        for expected in range(10):
+            assert session.step().slot == expected
+        assert session.is_done
+        with pytest.raises(SimulationError, match="horizon"):
+            session.step()
+
+    def test_double_begin_and_bare_close_fail(self, session):
+        with pytest.raises(SimulationError, match="nothing to close"):
+            session.close_slot()
+        session.begin_slot()
+        with pytest.raises(SimulationError, match="already open"):
+            session.begin_slot()
+        session.close_slot()
+
+    def test_run_until_bounds(self, session):
+        with pytest.raises(SimulationError, match="exceeds"):
+            session.run_until(11)
+        reports = session.run_until(4)
+        assert [r.slot for r in reports] == [0, 1, 2, 3]
+        assert session.run_until(4) == []
+        with pytest.raises(SimulationError, match="past"):
+            session.run_until(2)
+
+    def test_iteration_yields_remaining_slots(self, session):
+        session.run_until(7)
+        assert [report.slot for report in session] == [7, 8, 9]
+
+    def test_positive_horizon_required(self, line_substrate, chain_app):
+        algorithm = make_quickg(line_substrate, [chain_app])
+        with pytest.raises(SimulationError, match="positive horizon"):
+            SimulationSession(algorithm, [], 0)
+
+    def test_run_equals_batch_engine(self, line_substrate, chain_app):
+        requests = [_request(i, arrival=i % 4) for i in range(12)]
+        batch = simulate(make_quickg(line_substrate, [chain_app]), requests, 8)
+        streamed = SimulationSession(
+            make_quickg(line_substrate, [chain_app]), requests, 8
+        ).run()
+        assert streamed.decisions == batch.decisions
+        assert np.array_equal(
+            streamed.allocated_demand, batch.allocated_demand
+        )
+        assert np.array_equal(streamed.resource_cost, batch.resource_cost)
+
+
+class TestSubmit:
+    def test_submitted_interleaves_in_id_order(self, line_substrate, chain_app):
+        """An ad-hoc submission lands exactly where the trace would put it."""
+        requests = [_request(1, arrival=2), _request(5, arrival=2)]
+        late = _request(3, arrival=2, demand=2.0)
+
+        streamed = SimulationSession(
+            make_quickg(line_substrate, [chain_app]), requests, 6
+        )
+        streamed.submit(late)
+        assert streamed.pending_arrivals == 3
+        result = streamed.run()
+
+        batch = simulate(
+            make_quickg(line_substrate, [chain_app]), [*requests, late], 6
+        )
+        assert result.decisions == batch.decisions
+        assert np.array_equal(
+            result.requested_demand, batch.requested_demand
+        )
+
+    def test_submit_rejects_past_open_and_beyond(self, session):
+        session.run_until(3)
+        with pytest.raises(SimulationError, match="passed"):
+            session.submit(_request(90, arrival=2))
+        session.begin_slot()
+        with pytest.raises(SimulationError, match="begun"):
+            session.submit(_request(91, arrival=3))
+        session.submit(_request(92, arrival=4))  # future slots stay open
+        session.close_slot()
+        with pytest.raises(SimulationError, match="horizon"):
+            session.submit(_request(93, arrival=10))
+
+    def test_submitted_departure_releases(self, line_substrate, chain_app):
+        session = SimulationSession(
+            make_quickg(line_substrate, [chain_app]), [], 8
+        )
+        session.submit(_request(1, arrival=1, demand=2.0, duration=2))
+        result = session.run()
+        assert result.allocated_demand[1] == pytest.approx(2.0)
+        assert result.allocated_demand[3] == pytest.approx(0.0)
+
+
+class TestProcess:
+    def test_mid_slot_process(self, line_substrate, chain_app):
+        session = SimulationSession(
+            make_quickg(line_substrate, [chain_app]), [], 4
+        )
+        with pytest.raises(SimulationError, match="begin_slot"):
+            session.process(_request(1, arrival=0))
+        session.begin_slot()
+        decision = session.process(_request(1, arrival=0, demand=2.0))
+        assert decision.accepted
+        with pytest.raises(SimulationError, match="open slot is 0"):
+            session.process(_request(2, arrival=3))
+        report = session.close_slot()
+        assert report.requested_demand == pytest.approx(2.0)
+        assert [d.request.id for d in report.decisions] == [1]
+
+    def test_batch_algorithm_cannot_stream(self, line_substrate, chain_app):
+        session = SimulationSession(
+            SlotOffAlgorithm(line_substrate, [chain_app]), [], 4
+        )
+        assert not session.supports_streaming
+        session.begin_slot()
+        with pytest.raises(SimulationError, match="batch shape"):
+            session.process(_request(1, arrival=0))
+        session.close_slot()
+
+    def test_batch_algorithm_steps_like_batch_engine(
+        self, line_substrate, chain_app
+    ):
+        requests = [_request(i, arrival=i % 3) for i in range(6)]
+        batch = simulate(
+            SlotOffAlgorithm(line_substrate, [chain_app]), requests, 5
+        )
+        session = SimulationSession(
+            SlotOffAlgorithm(line_substrate, [chain_app]), requests, 5
+        )
+        streamed = session.run()
+        assert streamed.decisions == batch.decisions
+        assert np.array_equal(
+            streamed.allocated_demand, batch.allocated_demand
+        )
+
+
+class TestPartialResult:
+    def test_mid_run_result_is_a_prefix(self, session):
+        session.run_until(5)
+        partial = session.result()
+        assert partial.num_slots == 10
+        assert np.all(partial.allocated_demand[5:] == 0.0)
+        full = session.run()
+        assert partial.decisions == full.decisions[: len(partial.decisions)]
+
+    def test_result_refused_mid_slot(self, session):
+        session.begin_slot()
+        with pytest.raises(SimulationError, match="close_slot"):
+            session.result()
+
+
+class TestSnapshot:
+    def test_snapshot_refused_mid_slot(self, session):
+        session.begin_slot()
+        with pytest.raises(SimulationError, match="close_slot"):
+            session.snapshot()
+
+    def test_snapshot_is_isolated_and_reusable(self, session):
+        session.run_until(4)
+        snapshot = session.snapshot()
+        full = session.run()  # the live session keeps going
+        first = SimulationSession.restore(snapshot).run()
+        second = SimulationSession.restore(snapshot).run()
+        assert first.decisions == full.decisions
+        assert second.decisions == full.decisions
+        assert np.array_equal(first.allocated_demand, full.allocated_demand)
+
+    def test_snapshot_survives_pickle_roundtrip(self, session):
+        session.run_until(3)
+        snapshot = session.snapshot()
+        full = session.run()
+        revived = SessionSnapshot.from_bytes(snapshot.to_bytes())
+        assert revived.clock == 3
+        assert revived.algorithm_name == "QUICKG"
+        resumed = SimulationSession.restore(revived).run()
+        assert resumed.decisions == full.decisions
+
+    def test_from_bytes_rejects_foreign_payload(self):
+        import pickle
+
+        with pytest.raises(SimulationError, match="checkpoint"):
+            SessionSnapshot.from_bytes(pickle.dumps({"not": "a session"}))
+
+    def test_restored_session_accepts_new_submissions(
+        self, line_substrate, chain_app
+    ):
+        session = SimulationSession(
+            make_quickg(line_substrate, [chain_app]),
+            [_request(1, arrival=0, duration=8)], 8,
+        )
+        session.run_until(2)
+        resumed = SimulationSession.restore(session.snapshot())
+        resumed.submit(_request(2, arrival=4, demand=2.0))
+        result = resumed.run()
+        assert {d.request.id for d in result.decisions} == {1, 2}
+
+
+class TestSessionEvents:
+    def _schedule(self, substrate):
+        link = next(iter(substrate.links))
+        return EventSchedule(
+            [LinkFailure(slot=2, link=link), LinkRecovery(slot=4, link=link)],
+            policy="preempt",
+        )
+
+    def test_stepped_events_match_batch(self, line_substrate, chain_app):
+        requests = [
+            _request(i, arrival=i % 4, demand=2.0, duration=4)
+            for i in range(10)
+        ]
+        schedule = self._schedule(line_substrate)
+        batch = simulate(
+            make_quickg(line_substrate, [chain_app]), requests, 8,
+            events=schedule,
+        )
+        session = SimulationSession(
+            make_quickg(line_substrate, [chain_app]), requests, 8,
+            events=schedule,
+        )
+        reports = list(session)
+        streamed = session.result()
+        assert streamed.decisions == batch.decisions
+        assert streamed.disruptions == batch.disruptions
+        assert streamed.num_events == batch.num_events == 2
+        assert sum(r.num_events for r in reports) == 2
+        assert [r.slot for r in reports if r.num_events] == [2, 4]
+
+    def test_live_arrivals_follow_ingress_migrations(
+        self, line_substrate, chain_app
+    ):
+        """submit()/process() arrivals are re-homed exactly like the seed
+        stream, so a live stream ≡ the same requests in the trace."""
+        schedule = EventSchedule(
+            [IngressMigration(slot=1, source="edge-a", target="edge-b",
+                              until=4)]
+        )
+        migrated = _request(7, arrival=2, ingress="edge-a")
+        outside = _request(8, arrival=5, ingress="edge-a")
+
+        batch = simulate(
+            make_quickg(line_substrate, [chain_app]), [migrated, outside], 8,
+            events=schedule,
+        )
+        session = SimulationSession(
+            make_quickg(line_substrate, [chain_app]), [], 8, events=schedule
+        )
+        session.submit(migrated)
+        session.run_until(5)
+        session.begin_slot()
+        live = session.process(outside)
+        session.close_slot()
+        result = session.run()
+
+        assert result.decisions == batch.decisions
+        assert result.decision_by_id[7].request.ingress == "edge-b"
+        assert live.request.ingress == "edge-a"  # outside the window
+
+    def test_event_validation_matches_engine(self, line_substrate, chain_app):
+        schedule = self._schedule(line_substrate)
+        with pytest.raises(SimulationError, match="beyond"):
+            SimulationSession(
+                make_quickg(line_substrate, [chain_app]), [], 3,
+                events=schedule,
+            )
+
+
+class TestEventCursor:
+    def test_in_order_consumption(self, line_substrate):
+        link = next(iter(line_substrate.links))
+        schedule = EventSchedule([LinkFailure(slot=1, link=link)])
+        cursor = schedule.cursor()
+        assert cursor.advance(0) == ()
+        assert not cursor.exhausted
+        assert len(cursor.advance(1)) == 1
+        assert cursor.exhausted
+        assert cursor.state() == (2, 1)
+
+    def test_rewind_and_skip_fail(self, line_substrate):
+        link = next(iter(line_substrate.links))
+        cursor = EventSchedule([LinkFailure(slot=1, link=link)]).cursor()
+        cursor.advance(0)
+        with pytest.raises(SimulationError, match="in order"):
+            cursor.advance(0)
+        with pytest.raises(SimulationError, match="in order"):
+            cursor.advance(2)
+
+    def test_resume_from_state(self, line_substrate):
+        link = next(iter(line_substrate.links))
+        schedule = EventSchedule(
+            [LinkFailure(slot=1, link=link), LinkRecovery(slot=3, link=link)]
+        )
+        cursor = schedule.cursor()
+        cursor.advance(0)
+        cursor.advance(1)
+        resumed = schedule.cursor(*cursor.state())
+        assert resumed.advance(2) == ()
+        assert len(resumed.advance(3)) == 1
+        assert resumed.consumed == 2  # 1 carried over from the state + 1

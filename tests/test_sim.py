@@ -106,6 +106,64 @@ class TestSlotSimulator:
         assert calls.index(("release", 1)) < calls.index(("slot", 2))
 
 
+class TestSimulationResult:
+    def test_derived_fields_computed_when_omitted(self):
+        requests = [_request(1), _request(2)]
+        decisions = [
+            Decision(request=requests[0], accepted=True),
+            Decision(request=requests[1], accepted=False),
+        ]
+        result = _result_from_decisions(
+            decisions, preemptions=[(requests[0], 3)]
+        )
+        assert result.decision_by_id == {1: decisions[0], 2: decisions[1]}
+        assert result.preempted_ids == {1}
+        assert result.num_requests == 2
+        assert result.disruptions == []
+        assert result.disrupted_ids == set()
+
+    def test_explicit_empty_derived_fields_are_kept(self):
+        """Passing empty containers (or 0) must not trigger recomputation —
+        the falsy values are legitimate, not 'please derive' sentinels."""
+        requests = [_request(1)]
+        decisions = [Decision(request=requests[0], accepted=True)]
+        result = SimulationResult(
+            algorithm_name="X",
+            num_slots=4,
+            decisions=decisions,
+            preemptions=[(requests[0], 2)],
+            requested_demand=np.zeros(4),
+            allocated_demand=np.zeros(4),
+            resource_cost=np.zeros(4),
+            runtime_seconds=0.0,
+            decision_by_id={},
+            preempted_ids=set(),
+            num_requests=0,
+            disruptions=[],
+            disrupted_ids=set(),
+        )
+        assert result.decision_by_id == {}
+        assert result.preempted_ids == set()
+        assert result.num_requests == 0
+        assert result.disrupted_ids == set()
+
+    def test_throughput_zero_on_zero_runtime(self):
+        result = _result_from_decisions(
+            [Decision(request=_request(1), accepted=True)]
+        )
+        assert result.runtime_seconds == 0.0
+        assert result.slots_per_second == 0.0
+        assert result.requests_per_second == 0.0
+
+    def test_throughput_on_real_runtime(self):
+        result = _result_from_decisions(
+            [Decision(request=_request(i), accepted=True) for i in range(4)]
+        )
+        result.runtime_seconds = 0.5
+        assert result.slots_per_second == pytest.approx(20.0)
+        assert result.requests_per_second == pytest.approx(8.0)
+
+
 class TestRejectionRate:
     def test_counts_rejections_and_preemptions(self):
         requests = [_request(i) for i in range(4)]
