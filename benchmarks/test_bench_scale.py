@@ -1,0 +1,126 @@
+"""Scale curve: throughput vs generated substrate size (fig_scale).
+
+Runs the ``fig_scale`` driver — OLIVE and QUICKG on the generated
+``tiered-x`` family across a >=10x node-count span — twice, serially and
+with the seeded repetitions fanned over worker processes, and:
+
+* records slots/sec and requests/sec per size to a ``BENCH_scale.json``
+  trajectory file (one record appended per run, so throughput
+  regressions show up as a time series across commits);
+* asserts the serial and parallel legs agree **bit-for-bit on every
+  decision-derived metric** (rejection, costs, balance, resilience) —
+  only the wall-clock metrics (runtime, slots/sec, requests/sec) may
+  differ between the two legs.
+
+The PLAN-VNE build dominates wall-clock at the top of the ladder (~50s
+at 400 nodes even with the single-chain ``scale`` mix); the simulations
+themselves stay in single-digit seconds. Smoke mode
+(``REPRO_BENCH_FAST=1``, used by CI) shrinks the ladder to (30, 60)
+with one repetition but keeps the serial-vs-parallel assertion.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+from _bench_utils import FAST, RESULTS_DIR, bench_config, record
+from repro.experiments.figures import SCALE_SIZES, run_scale, scale_config
+from repro.sim.runner import ParallelRunner
+
+TRAJECTORY_FILE = RESULTS_DIR / "BENCH_scale.json"
+
+FAMILY = "tiered-x"
+SIZES = (30, 60) if FAST else SCALE_SIZES["bench"]
+ALGORITHMS = ("OLIVE", "QUICKG")
+PARALLEL_JOBS = 2
+
+#: Metric suffixes that are real timings; everything else is derived
+#: purely from decisions and must match across serial/parallel legs.
+WALLCLOCK_SUFFIXES = ("runtime", "slots_per_sec", "requests_per_sec")
+
+
+def _deterministic(summary):
+    """The decision-derived (machine-independent) slice of a summary."""
+    return {
+        key: (interval.mean, interval.half_width, interval.count)
+        for key, interval in summary.items()
+        if not key.endswith(WALLCLOCK_SUFFIXES)
+    }
+
+
+def test_scale_curve(benchmark):
+    config = scale_config(bench_config(repetitions=1 if FAST else 2))
+
+    def run_serial():
+        return run_scale(config, SIZES, family=FAMILY, algorithms=ALGORITHMS)
+
+    serial = benchmark.pedantic(run_serial, rounds=1, iterations=1)
+    parallel = run_scale(
+        config,
+        SIZES,
+        family=FAMILY,
+        algorithms=ALGORITHMS,
+        runner=ParallelRunner.from_jobs(PARALLEL_JOBS),
+    )
+
+    assert set(serial) == set(SIZES)
+    for size in SIZES:
+        assert _deterministic(serial[size]) == _deterministic(
+            parallel[size]
+        ), f"jobs=1 vs jobs={PARALLEL_JOBS} diverged at {FAMILY}:{size}"
+
+    entry = {
+        "family": FAMILY,
+        "sizes": list(SIZES),
+        "repetitions": config.repetitions,
+        "arrivals_per_node": config.arrivals_per_node,
+        "online_slots": config.online_slots,
+        "fast_mode": FAST,
+        "parallel_jobs": PARALLEL_JOBS,
+        "points": {},
+    }
+    lines = [
+        f"[{FAMILY}] sizes {SIZES}, λ={config.arrivals_per_node:.0f}, "
+        f"{config.online_slots} slots, {config.repetitions} reps "
+        f"(decisions identical at jobs=1 and jobs={PARALLEL_JOBS})"
+    ]
+    for size in SIZES:
+        summary = serial[size]
+        point = {}
+        for name in ALGORITHMS:
+            slots_per_sec = summary[f"{name}:slots_per_sec"].mean
+            requests_per_sec = summary[f"{name}:requests_per_sec"].mean
+            assert slots_per_sec > 0 and requests_per_sec > 0, (size, name)
+            point[name] = {
+                "slots_per_sec": slots_per_sec,
+                "requests_per_sec": requests_per_sec,
+                "runtime_seconds": summary[f"{name}:runtime"].mean,
+                "rejection_rate": summary[f"{name}:rejection_rate"].mean,
+            }
+            lines.append(
+                f"  n={size:<4} {name:7} {slots_per_sec:8.1f} slots/s  "
+                f"{requests_per_sec:9.0f} req/s  "
+                f"rejection={point[name]['rejection_rate']:.3f}"
+            )
+        entry["points"][str(size)] = point
+
+    # Per-slot work grows with substrate size, so throughput must fall
+    # across a 10x node-count span — by a huge margin in practice, so
+    # this is a sanity check, not a wall-clock gate.
+    if not FAST:
+        for name in ALGORITHMS:
+            top = entry["points"][str(SIZES[0])][name]["slots_per_sec"]
+            bottom = entry["points"][str(SIZES[-1])][name]["slots_per_sec"]
+            assert top > bottom, (name, top, bottom)
+
+    record("scale", lines)
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+    entry["timestamp"] = time.strftime("%Y-%m-%dT%H:%M:%S")
+    try:
+        trajectory = json.loads(TRAJECTORY_FILE.read_text())
+    except (OSError, ValueError):
+        trajectory = []
+    trajectory.append(entry)
+    TRAJECTORY_FILE.write_text(json.dumps(trajectory, indent=1) + "\n")

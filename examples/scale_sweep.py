@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Scale sweep: generated topologies, adversarial traffic, fig_scale.
+
+Three things the scenario stress tier adds, in one script:
+
+1. *Generated topology families* — `tiered-x`, `waxman`, `prefattach`
+   and `caida-x` are registered sized builders: `"waxman:200"` builds a
+   200-node Waxman graph, deterministically.
+2. *Adversarial traces* — `pareto-burst` (heavy-tailed arrival counts),
+   `ingress-hotspot` (spatial concentration that *moves* between the
+   history and online phases) and `capacity-probe` (a floor of tiny
+   probes hiding rare huge spikes) plug into `config.trace_kind` like
+   any other trace.
+3. *The scale curve* — `run_scale` sweeps a sized family across a node
+   ladder and reports engine throughput (slots/sec, requests/sec), the
+   `fig_scale` figure. `scale_config` applies the overrides that keep
+   PLAN-VNE affordable at hundreds of nodes (single-chain app mix,
+   short horizons).
+
+Run:  python examples/scale_sweep.py [--seed N] [--sizes 30,60,120]
+"""
+
+import argparse
+
+from repro import ExperimentConfig, build_scenario
+from repro.experiments.figures import run_scale, scale_config
+from repro.substrate.topologies import make_topology
+
+
+def main(seed: int = 0, sizes: tuple = (30, 60)) -> None:
+    # -- 1. generated families at any size ---------------------------------
+    print("generated topologies (name: nodes/links, edge share):")
+    for name in ("tiered-x:40", "waxman:40", "prefattach:40", "caida-x:40"):
+        substrate = make_topology(name)
+        edge = sum(1 for n in substrate.nodes if n in substrate.edge_nodes)
+        print(f"  {name:<14} {substrate.num_nodes} nodes / "
+              f"{substrate.num_links} links, {edge} edge ingresses")
+
+    # -- 2. adversarial traces against the same substrate ------------------
+    print("\nadversarial traces on waxman:40 (online request counts):")
+    for trace_kind in ("mmpp", "pareto-burst", "ingress-hotspot",
+                       "capacity-probe"):
+        config = ExperimentConfig.test(
+            topology="waxman:40", trace_kind=trace_kind,
+            history_slots=40, online_slots=12,
+            measure_start=2, measure_stop=10, base_seed=seed,
+        )
+        scenario = build_scenario(config, seed=seed, with_plan=False)
+        online = scenario.online_requests()
+        peak = max(
+            sum(1 for r in online if r.arrival == t)
+            for t in range(config.online_slots)
+        )
+        print(f"  {trace_kind:<16} {len(online):4d} requests, "
+              f"peak slot {peak}")
+
+    # -- 3. the fig_scale throughput curve ---------------------------------
+    config = scale_config(ExperimentConfig.test(base_seed=seed))
+    print(f"\nthroughput vs substrate size (tiered-x, sizes {sizes}):")
+    data = run_scale(config, sizes=sizes, algorithms=("OLIVE", "QUICKG"))
+    for size, summary in data.items():
+        cells = "  ".join(
+            f"{name}={summary[f'{name}:slots_per_sec'].mean:7.1f} slots/s"
+            for name in ("OLIVE", "QUICKG")
+        )
+        print(f"  n={size:<4} {cells}")
+    print("\n(benchmarks/test_bench_scale.py records the full 40->400 "
+          "curve to benchmarks/results/BENCH_scale.json)")
+
+
+if __name__ == "__main__":
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--seed", type=int, default=0,
+                        help="scenario seed (default: 0)")
+    parser.add_argument("--sizes", default="30,60",
+                        help="comma-separated node counts (default: 30,60)")
+    args = parser.parse_args()
+    main(seed=args.seed,
+         sizes=tuple(int(s) for s in args.sizes.split(",")))

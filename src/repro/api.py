@@ -180,6 +180,8 @@ def summarize_run(
         metrics[f"{name}:rejection_cost"] = costs.rejection
         metrics[f"{name}:total_cost"] = costs.total
         metrics[f"{name}:runtime"] = result.runtime_seconds
+        metrics[f"{name}:slots_per_sec"] = result.slots_per_second
+        metrics[f"{name}:requests_per_sec"] = result.requests_per_second
         metrics[f"{name}:balance"] = balance_index(
             result, len(scenario.apps), window
         )
@@ -235,7 +237,9 @@ def _plugin_fingerprint(
     """
     entries = [algorithm_registry.get(name) for name in algorithms]
     entries += [
-        topology_registry.get(config.topology),
+        # Sized families are spelled "family:<nodes>"; the registry entry
+        # (and hence the plugin source) is keyed by the base name.
+        topology_registry.get(config.topology.partition(":")[0]),
         trace_registry.get(config.trace_kind),
         app_mix_registry.get(config.app_mix),
         efficiency_registry.get(

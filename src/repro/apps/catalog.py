@@ -172,6 +172,89 @@ def make_uniform_type_set(
     return [maker(rng, name=f"{app_type}-{i}") for i in range(count)]
 
 
+#: Per-tenant-class SLO targets attached to the multi-tenant mixes.
+#: Keyed by tenant class; attached to the registry entries as ``slo``
+#: metadata so schedulers and report generators can read the targets
+#: without instantiating the mix.
+TENANT_SLOS = {
+    "gold": {
+        "availability": 0.999, "max_rejection_rate": 0.01, "priority": 0,
+    },
+    "silver": {
+        "availability": 0.99, "max_rejection_rate": 0.05, "priority": 1,
+    },
+    "bronze": {
+        "availability": 0.9, "max_rejection_rate": 0.20, "priority": 2,
+    },
+}
+
+
+def tenant_class(app_name: str) -> str | None:
+    """The tenant class an application belongs to, or ``None``.
+
+    Multi-tenant mixes encode the class as the first dash-separated
+    segment of the application name (``"gold-chain-4"`` → ``"gold"``).
+    """
+    prefix = app_name.split("-", 1)[0]
+    return prefix if prefix in TENANT_SLOS else None
+
+
+@register_app_mix(
+    "tenants",
+    description="multi-tenant gold/silver/bronze mix with per-class SLOs",
+    slo=TENANT_SLOS,
+)
+def draw_tenant_mix(rng: np.random.Generator) -> list[Application]:
+    """A balanced three-class tenant population.
+
+    One premium chain, one mid-tier tree, two best-effort chains — the
+    class is recoverable from each application's name prefix via
+    :func:`tenant_class`, and the per-class SLO targets ride on the
+    registry entry's ``slo`` metadata.
+    """
+    return [
+        make_chain(rng, name="gold-chain"),
+        make_tree(rng, name="silver-tree"),
+        make_chain(rng, name="bronze-chain-a"),
+        make_chain(rng, name="bronze-chain-b"),
+    ]
+
+
+@register_app_mix(
+    "tenants-premium",
+    description="gold-heavy multi-tenant mix (accelerated premium chains)",
+    slo=TENANT_SLOS,
+)
+def draw_premium_tenant_mix(rng: np.random.Generator) -> list[Application]:
+    """A gold-dominated population: premium accelerated service chains.
+
+    Stresses the admission logic where the high-priority class is the
+    bulk of the offered load instead of a protected minority.
+    """
+    return [
+        make_accelerator(rng, name="gold-accelerator"),
+        make_chain(rng, name="gold-chain-a"),
+        make_chain(rng, name="gold-chain-b"),
+        make_tree(rng, name="silver-tree"),
+    ]
+
+
+@register_app_mix(
+    "scale",
+    description="single short chain — keeps the PLAN-VNE LP small for "
+    "scale sweeps",
+)
+def draw_scale_mix(rng: np.random.Generator) -> list[Application]:
+    """One 3-VNF chain: the workload of the fig_scale / BENCH_scale tier.
+
+    The plan LP's variable count is (ingress classes × virtual links ×
+    substrate arcs); ingress classes scale with edge nodes × apps, so a
+    hundreds-of-nodes sweep needs the app dimension pinned to its
+    minimum to stay solvable in seconds rather than hours.
+    """
+    return [make_chain(rng, num_vnfs=3, name="scale-chain")]
+
+
 def _register_uniform_mixes() -> None:
     """Register the single-type mixes of the Fig. 9 / Fig. 10 studies."""
     descriptions = {

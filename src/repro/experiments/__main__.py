@@ -65,6 +65,7 @@ FIGURES = {
     "fig15": "CAIDA-like demand",
     "fig16": "runtime scalability",
     "fig_resilience": "dynamic events: failures, drains, flash crowds",
+    "fig_scale": "throughput vs generated topology size",
     "serve": "live embedding service driven by generated traffic",
 }
 
@@ -254,6 +255,21 @@ def _render_serve(config: ExperimentConfig, args) -> int:
     return 0
 
 
+def _render_fig_scale(config: ExperimentConfig, args) -> int:
+    sizes = figures.SCALE_SIZES[args.scale]
+    data = figures.run_scale(
+        figures.scale_config(config), sizes, **_algo_kwargs(args)
+    )
+    for size, summary in data.items():
+        algorithms = sorted({k.split(":")[0] for k in summary})
+        cells = "  ".join(
+            f"{a}={summary[f'{a}:slots_per_sec'].mean:.1f} slots/s"
+            for a in algorithms
+        )
+        print(f"  nodes={size:<4} {cells}")
+    return 0
+
+
 def _render_fig_resilience(config: ExperimentConfig, args) -> int:
     data = figures.run_resilience(
         config, policy=args.event_policy, **_algo_kwargs(args)
@@ -284,6 +300,7 @@ RENDERERS = {
     "fig15": _render_fig15,
     "fig16": _render_fig16,
     "fig_resilience": _render_fig_resilience,
+    "fig_scale": _render_fig_scale,
     "serve": _render_serve,
 }
 

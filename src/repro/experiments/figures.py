@@ -41,6 +41,9 @@ __all__ = [
     "run_runtime_scaling",
     "RESILIENCE_PROFILES",
     "run_resilience",
+    "SCALE_SIZES",
+    "scale_config",
+    "run_scale",
 ]
 
 
@@ -361,3 +364,58 @@ def run_runtime_scaling(
         for point in by_utilization_result
     }
     return {"by_rate": by_rate, "by_utilization": by_utilization}
+
+
+# -- fig_scale: throughput vs generated substrate size (beyond the paper) -----
+
+#: Topology-size ladder per CLI scale preset. The bench/paper ladders
+#: span >=10x in node count; ``test`` stays small enough for smoke runs.
+SCALE_SIZES = {
+    "test": (30, 60),
+    "bench": (40, 120, 400),
+    "paper": (40, 120, 400, 800),
+}
+
+
+def scale_config(config: ExperimentConfig) -> ExperimentConfig:
+    """Make ``config`` affordable at hundreds of substrate nodes.
+
+    The PLAN-VNE LP's class count grows with substrate edges × apps, so
+    four-app mixes become intractable past ~200 nodes; the single-chain
+    ``scale`` mix keeps planning feasible across the whole ladder. The
+    horizons shrink accordingly — the scale curve measures throughput,
+    not rejection statistics, so long histories buy nothing here.
+    """
+    return config.with_(
+        app_mix="scale",
+        arrivals_per_node=min(config.arrivals_per_node, 2.0),
+        history_slots=60,
+        online_slots=30,
+        measure_start=4,
+        measure_stop=26,
+    )
+
+
+def run_scale(
+    config: ExperimentConfig,
+    sizes: Sequence[int] = SCALE_SIZES["bench"],
+    family: str = "tiered-x",
+    algorithms: Sequence[str] = ("OLIVE", "QUICKG"),
+    runner: ParallelRunner | None = None,
+) -> dict[int, dict[str, ConfidenceInterval]]:
+    """Throughput vs substrate size (the ``fig_scale`` driver).
+
+    Sweeps one generated topology family (``tiered-x`` by default — any
+    registry entry with ``sized=True`` metadata works) across a ladder
+    of node counts and reports the full metric summaries; the headline
+    series are ``slots_per_sec`` and ``requests_per_sec``. Pass the
+    config through :func:`scale_config` first — the default presets plan
+    four-app mixes, which blow up the LP at the top of the ladder.
+    """
+    result = (
+        _experiment(config, algorithms)
+        .sweep("topology", tuple(f"{family}:{size}" for size in sizes))
+        .run(runner=runner)
+    )
+    keyed = result.keyed("topology")
+    return {size: keyed[f"{family}:{size}"] for size in sizes}

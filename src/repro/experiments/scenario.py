@@ -198,6 +198,8 @@ DEFAULT_METRICS = (
     "rejection_cost",
     "total_cost",
     "runtime",
+    "slots_per_sec",
+    "requests_per_sec",
     "balance",
     "disrupted_rate",
     "availability",

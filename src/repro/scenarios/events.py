@@ -266,6 +266,83 @@ class EventSchedule:
         """A copy of this schedule under a different disruption policy."""
         return EventSchedule(self.events, policy=policy, name=self.name)
 
+    def shifted(self, offset: int) -> "EventSchedule":
+        """A copy with every event moved ``offset`` slots later.
+
+        Flash-crowd arrivals and migration windows move with their
+        events, so a shifted schedule perturbs the run identically —
+        just later. Negative offsets are allowed as long as no event
+        lands before slot 0 (the constructor rejects that).
+        """
+        if offset == 0:
+            return self
+        events: list[Event] = []
+        for event in self.events:
+            if isinstance(event, FlashCrowd):
+                requests = tuple(
+                    dataclasses.replace(r, arrival=r.arrival + offset)
+                    for r in event.requests
+                )
+                events.append(
+                    dataclasses.replace(
+                        event, slot=event.slot + offset, requests=requests
+                    )
+                )
+            elif isinstance(event, IngressMigration):
+                events.append(
+                    dataclasses.replace(
+                        event,
+                        slot=event.slot + offset,
+                        until=event.until + offset,
+                    )
+                )
+            else:
+                events.append(
+                    dataclasses.replace(event, slot=event.slot + offset)
+                )
+        name = f"{self.name}@{offset:+d}" if self.name else ""
+        return EventSchedule(events, policy=self.policy, name=name)
+
+    def compose(
+        self,
+        *others: "EventSchedule",
+        policy: str | None = None,
+        name: str = "",
+    ) -> "EventSchedule":
+        """Overlay schedules into one — e.g. a flash crowd *during* a drain.
+
+        Events are concatenated in operand order and re-sorted by slot;
+        because the constructor's sort is stable, **same-slot ordering is
+        operand order** (all of ``self``'s slot-``t`` events fire before
+        any of ``others[0]``'s, and so on) — composition is therefore
+        associative but deliberately not commutative.
+
+        The operands must agree on the disruption policy, or an explicit
+        ``policy=`` must pick one; composing schedules that silently
+        disagree on how to treat stranded requests is almost certainly a
+        bug, so it fails fast.
+
+        Combine with :meth:`shifted` for relative placement::
+
+            drain.compose(flash_crowd.shifted(drain_start + 3))
+        """
+        schedules = (self, *others)
+        if policy is None:
+            policies = {schedule.policy for schedule in schedules}
+            if len(policies) > 1:
+                raise SimulationError(
+                    f"composed schedules disagree on disruption policy "
+                    f"{sorted(policies)}; pass policy=... to choose one"
+                )
+            policy = self.policy
+        events = [
+            event for schedule in schedules for event in schedule.events
+        ]
+        if not name:
+            parts = [s.name for s in schedules if s.name]
+            name = "+".join(parts)
+        return EventSchedule(events, policy=policy, name=name)
+
     def apply_migrations(self, request: Request) -> Request:
         """One request with any matching ingress migrations applied.
 

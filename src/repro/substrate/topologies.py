@@ -81,6 +81,20 @@ def make_tiered_topology(
     edge↔secondary transport, transport↔secondary core) until ``num_links``
     is reached.
     """
+    for label, count in (
+        ("num_core", num_core),
+        ("num_transport", num_transport),
+        ("num_edge", num_edge),
+        ("num_links", num_links),
+    ):
+        if not isinstance(count, (int, np.integer)) or isinstance(count, bool):
+            raise TopologyError(
+                f"{name}: {label} must be an integer, got {count!r}"
+            )
+        if count < 1:
+            raise TopologyError(
+                f"{name}: {label} must be at least 1, got {count}"
+            )
     base_links = (
         (num_core if num_core > 2 else max(num_core - 1, 0))
         + num_transport
@@ -273,6 +287,227 @@ def _connected(num_nodes: int, pairs: set[tuple[int, int]]) -> bool:
     return len(seen) == num_nodes
 
 
+# -- generated scale families -------------------------------------------------
+#
+# The catalog above reproduces Table II at published sizes. The families
+# below are *parameterized* — `make_topology("waxman:800")` builds an
+# 800-node instance — and exist to measure how the embedding pipeline
+# scales (fig_scale, BENCH_scale). Every family is deterministic in
+# (size, seed) and assigns tiers so the trace/plan machinery (which
+# needs non-empty edge/transport/core sets) works unchanged.
+
+#: Default node count when a sized family is built without a size.
+DEFAULT_SCALE_NODES = 120
+
+
+def _check_size(family: str, num_nodes: int, minimum: int) -> None:
+    if not isinstance(num_nodes, (int, np.integer)) or isinstance(
+        num_nodes, bool
+    ):
+        raise TopologyError(
+            f"{family}: size must be an integer, got {num_nodes!r}"
+        )
+    if num_nodes < minimum:
+        raise TopologyError(
+            f"{family}: size must be at least {minimum}, got {num_nodes}"
+        )
+
+
+def _tiers_by_degree_rank(
+    num_nodes: int, pairs: set[tuple[int, int]]
+) -> dict[int, Tier]:
+    """Map node indices to tiers by degree rank (hubs become core).
+
+    The same flat-graph hierarchy assignment 100N150E uses, generalized:
+    top ~6 % of nodes by degree are core, the next ~24 % transport, the
+    rest edge (ties broken by index for determinism).
+    """
+    degree = [0] * num_nodes
+    for a, b in pairs:
+        degree[a] += 1
+        degree[b] += 1
+    order = sorted(range(num_nodes), key=lambda v: (-degree[v], v))
+    num_core = max(1, round(0.06 * num_nodes))
+    num_transport = max(1, round(0.24 * num_nodes))
+    tiers: dict[int, Tier] = {}
+    for rank, v in enumerate(order):
+        if rank < num_core:
+            tiers[v] = Tier.CORE
+        elif rank < num_core + num_transport:
+            tiers[v] = Tier.TRANSPORT
+        else:
+            tiers[v] = Tier.EDGE
+    return tiers
+
+
+def _substrate_from_pairs(
+    name: str,
+    num_nodes: int,
+    pairs: set[tuple[int, int]],
+    rng: np.random.Generator,
+) -> SubstrateNetwork:
+    tiers = _tiers_by_degree_rank(num_nodes, pairs)
+    nodes: dict[NodeId, NodeAttrs] = {}
+    for v in range(num_nodes):
+        nodes[f"n{v}"] = _node_attrs(tiers[v], rng)
+    links: dict[LinkId, LinkAttrs] = {}
+    for a, b in sorted(pairs):
+        links[link_id(f"n{a}", f"n{b}")] = _link_attrs(tiers[a], tiers[b])
+    return SubstrateNetwork(name=name, nodes=nodes, links=links)
+
+
+@register_topology(
+    "tiered-x",
+    description="scaled three-tier hierarchy; size via 'tiered-x:<nodes>'",
+    sized=True,
+)
+def make_scaled_tiered(
+    num_nodes: int = DEFAULT_SCALE_NODES, seed: int = 101
+) -> SubstrateNetwork:
+    """A three-tier hierarchy scaled to ``num_nodes`` datacenters.
+
+    Tier counts follow the catalog's ~1:3:9 core:transport:edge ratio;
+    the link budget adds a transport mesh ring and dual-homes half the
+    edge nodes, so redundancy grows with the substrate.
+    """
+    _check_size("tiered-x", num_nodes, 26)
+    num_core = max(2, num_nodes // 13)
+    num_transport = max(3, 3 * num_core)
+    num_edge = num_nodes - num_core - num_transport
+    ring_links = num_core if num_core > 2 else num_core - 1
+    num_links = (
+        ring_links + num_transport + num_edge  # homing skeleton
+        + num_transport  # transport mesh ring
+        + num_edge // 2  # dual-home half the edge nodes
+    )
+    return make_tiered_topology(
+        f"tiered-x-{num_nodes}",
+        num_core=num_core,
+        num_transport=num_transport,
+        num_edge=num_edge,
+        num_links=num_links,
+        seed=seed,
+    )
+
+
+@register_topology(
+    "waxman",
+    description="Waxman random geometric graph; size via 'waxman:<nodes>'",
+    sized=True,
+)
+def make_waxman(
+    num_nodes: int = DEFAULT_SCALE_NODES,
+    seed: int = 211,
+    alpha: float = 0.25,
+    beta: float = 0.6,
+) -> SubstrateNetwork:
+    """Waxman(α, β) geometric graph with a nearest-neighbor backbone.
+
+    Nodes are placed uniformly in the unit square; each node first links
+    to its nearest already-placed neighbor (guaranteeing connectivity),
+    then extra edges are sampled with the Waxman probability
+    ``β·exp(−d/(α·√2))`` until ~1.5 links per node. Tiers by degree rank.
+    """
+    _check_size("waxman", num_nodes, 20)
+    rng = make_rng(seed)
+    positions = rng.uniform(0.0, 1.0, size=(num_nodes, 2))
+    pairs: set[tuple[int, int]] = set()
+    # Nearest-neighbor backbone: connected by construction.
+    for i in range(1, num_nodes):
+        deltas = positions[:i] - positions[i]
+        nearest = int(np.argmin(np.einsum("ij,ij->i", deltas, deltas)))
+        pairs.add((nearest, i))
+    target = int(1.5 * num_nodes)
+    scale = alpha * float(np.sqrt(2.0))
+    attempts = 0
+    while len(pairs) < target and attempts < 200:
+        attempts += 1
+        chunk = max(256, 2 * (target - len(pairs)))
+        a = rng.integers(0, num_nodes, size=chunk)
+        b = rng.integers(0, num_nodes, size=chunk)
+        dist = np.linalg.norm(positions[a] - positions[b], axis=1)
+        accept = rng.uniform(size=chunk) < beta * np.exp(-dist / scale)
+        for u, v, ok in zip(a, b, accept):
+            if ok and u != v:
+                pairs.add((min(int(u), int(v)), max(int(u), int(v))))
+            if len(pairs) >= target:
+                break
+    return _substrate_from_pairs(f"waxman-{num_nodes}", num_nodes, pairs, rng)
+
+
+@register_topology(
+    "prefattach",
+    description="preferential-attachment graph; size via 'prefattach:<nodes>'",
+    sized=True,
+)
+def make_preferential(
+    num_nodes: int = DEFAULT_SCALE_NODES, seed: int = 307, m: int = 2
+) -> SubstrateNetwork:
+    """Barabási–Albert preferential attachment with ``m`` links per node.
+
+    Grown from an ``m+1``-clique; every new node attaches to ``m``
+    distinct targets sampled proportionally to current degree. The
+    resulting heavy-tailed degree distribution maps naturally onto the
+    core/transport/edge split (hubs become core).
+    """
+    _check_size("prefattach", num_nodes, 20)
+    if m < 1:
+        raise TopologyError(f"prefattach: m must be at least 1, got {m}")
+    rng = make_rng(seed)
+    pairs: set[tuple[int, int]] = set()
+    repeated: list[int] = []  # one entry per degree endpoint
+    for a in range(m + 1):
+        for b in range(a + 1, m + 1):
+            pairs.add((a, b))
+            repeated.extend((a, b))
+    for v in range(m + 1, num_nodes):
+        targets: set[int] = set()
+        while len(targets) < m:
+            targets.add(repeated[int(rng.integers(0, len(repeated)))])
+        for t in sorted(targets):
+            pairs.add((t, v))
+            repeated.extend((t, v))
+    return _substrate_from_pairs(
+        f"prefattach-{num_nodes}", num_nodes, pairs, rng
+    )
+
+
+@register_topology(
+    "caida-x",
+    description="scaled-CAIDA expander graph; size via 'caida-x:<nodes>'",
+    sized=True,
+)
+def make_caida_expander(
+    num_nodes: int = DEFAULT_SCALE_NODES, seed: int = 401
+) -> SubstrateNetwork:
+    """An expander in the style of scaled CAIDA AS graphs.
+
+    A ring backbone (connectivity) plus a random perfect matching
+    (expansion) plus Pareto-weighted hub attachments (the heavy-tailed
+    AS-degree profile CAIDA snapshots show). ~1.75 links per node.
+    """
+    _check_size("caida-x", num_nodes, 20)
+    rng = make_rng(seed)
+    pairs: set[tuple[int, int]] = set()
+    for v in range(num_nodes):
+        w = (v + 1) % num_nodes
+        pairs.add((min(v, w), max(v, w)))
+    matching = rng.permutation(num_nodes)
+    for i in range(0, num_nodes - 1, 2):
+        a, b = int(matching[i]), int(matching[i + 1])
+        pairs.add((min(a, b), max(a, b)))
+    # Heavy-tailed hub attachments: nodes draw Pareto weights, random
+    # nodes wire to hubs sampled proportionally to weight.
+    weights = rng.pareto(1.5, size=num_nodes) + 1.0
+    probabilities = weights / weights.sum()
+    spokes = rng.integers(0, num_nodes, size=num_nodes // 4)
+    hubs = rng.choice(num_nodes, size=num_nodes // 4, p=probabilities)
+    for a, b in zip(spokes, hubs):
+        if int(a) != int(b):
+            pairs.add((min(int(a), int(b)), max(int(a), int(b))))
+    return _substrate_from_pairs(f"caida-x-{num_nodes}", num_nodes, pairs, rng)
+
+
 def split_gpu_datacenters(
     substrate: SubstrateNetwork,
     num_edge_gpu: int = 4,
@@ -329,5 +564,27 @@ TOPOLOGY_BUILDERS = topology_registry.as_mapping()
 
 
 def make_topology(name: str) -> SubstrateNetwork:
-    """Build a registered topology by name (``repro.registry`` backed)."""
-    return topology_registry.create(name)
+    """Build a registered topology by name (``repro.registry`` backed).
+
+    Sized families (registered with ``sized=True`` metadata) accept a
+    ``"family:<nodes>"`` spelling — ``make_topology("waxman:800")``
+    builds an 800-node Waxman instance. Catalog topologies reject the
+    suffix: their element counts are published, not parameters.
+    """
+    base, sep, size = name.partition(":")
+    if not sep:
+        return topology_registry.create(name)
+    entry = topology_registry.get(base)
+    if not entry.metadata.get("sized"):
+        raise TopologyError(
+            f"topology {base!r} has fixed published element counts and "
+            f"does not take a size parameter (got {name!r})"
+        )
+    try:
+        num_nodes = int(size)
+    except ValueError:
+        raise TopologyError(
+            f"bad topology size {size!r} in {name!r}; "
+            f"expected '{base}:<num_nodes>'"
+        ) from None
+    return entry.factory(num_nodes)

@@ -20,6 +20,13 @@ from repro.workload.trace import (
     mean_application_footprint,
 )
 from repro.workload.diurnal import diurnal_rates, generate_diurnal_trace
+from repro.workload.adversarial import (
+    generate_capacity_probe_trace,
+    generate_ingress_hotspot_trace,
+    generate_pareto_burst_trace,
+    hotspot_probabilities,
+    pareto_burst_counts,
+)
 
 __all__ = [
     "Request",
@@ -35,4 +42,9 @@ __all__ = [
     "mean_application_footprint",
     "diurnal_rates",
     "generate_diurnal_trace",
+    "generate_pareto_burst_trace",
+    "generate_ingress_hotspot_trace",
+    "generate_capacity_probe_trace",
+    "pareto_burst_counts",
+    "hotspot_probabilities",
 ]

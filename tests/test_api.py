@@ -22,12 +22,15 @@ def tiny_config():
     )
 
 
+_WALLCLOCK_SUFFIXES = (":runtime", ":slots_per_sec", ":requests_per_sec")
+
+
 def _drop_runtime(summary):
-    """Wall-clock runtime metrics are genuine timings — never compared."""
+    """Wall-clock metrics are genuine timings — never compared."""
     return {
         key: value
         for key, value in summary.items()
-        if not key.endswith(":runtime")
+        if not key.endswith(_WALLCLOCK_SUFFIXES)
     }
 
 
@@ -126,8 +129,8 @@ class TestSweepResult:
 
     def test_to_rows_tidy_shape(self, result):
         rows = result.to_rows()
-        # 2 points × 1 algorithm × 9 metrics (see DEFAULT_METRICS)
-        assert len(rows) == 18
+        # 2 points × 1 algorithm × 11 metrics (see DEFAULT_METRICS)
+        assert len(rows) == 22
         row = rows[0]
         assert row["algorithm"] == "QUICKG"
         assert {"utilization", "metric", "mean", "half_width", "low",

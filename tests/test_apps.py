@@ -162,6 +162,35 @@ class TestCatalog:
         with pytest.raises(ApplicationError, match="unknown application type"):
             make_uniform_type_set(rng, "mesh")
 
+    def test_tenant_mix_classes_and_slo_metadata(self, rng):
+        from repro.apps.catalog import (
+            TENANT_SLOS,
+            draw_tenant_mix,
+            tenant_class,
+        )
+        from repro.registry import app_mix_registry
+
+        mix = draw_tenant_mix(rng)
+        classes = [tenant_class(app.name) for app in mix]
+        assert set(classes) == {"gold", "silver", "bronze"}
+        assert tenant_class("standard-chain") is None
+        for name in ("tenants", "tenants-premium"):
+            entry = app_mix_registry.get(name)
+            assert entry.metadata["slo"] is TENANT_SLOS
+        # SLO targets tighten with priority.
+        assert (
+            TENANT_SLOS["gold"]["availability"]
+            > TENANT_SLOS["silver"]["availability"]
+            > TENANT_SLOS["bronze"]["availability"]
+        )
+
+    def test_scale_mix_is_a_single_short_chain(self, rng):
+        from repro.apps.catalog import draw_scale_mix
+
+        mix = draw_scale_mix(rng)
+        assert len(mix) == 1
+        assert mix[0].num_vnfs == 3
+
 
 class TestEfficiency:
     def test_uniform_is_one_everywhere(self, chain_app):

@@ -207,6 +207,164 @@ class TestEventSchedule:
         assert not EventSchedule([NodeRestore(slot=0, node="x")]).is_empty
 
 
+class TestComposeAndShift:
+    """The scenario-composition operator (merge / shift / overlay)."""
+
+    def test_compose_merges_and_sorts(self):
+        drain = EventSchedule(
+            [NodeDrain(slot=2, node="core", fraction=0.5),
+             NodeRestore(slot=8, node="core")],
+            name="drain",
+        )
+        flap = EventSchedule(
+            [LinkFailure(slot=4, link=("a", "b")),
+             LinkRecovery(slot=6, link=("a", "b"))],
+            name="flap",
+        )
+        combined = drain.compose(flap)
+        assert [e.slot for e in combined.events] == [2, 4, 6, 8]
+        assert combined.name == "drain+flap"
+        # Operands are untouched.
+        assert len(drain) == 2 and len(flap) == 2
+
+    def test_same_slot_ordering_is_operand_order(self):
+        """fail+recover in one slot: composition order decides the outcome."""
+        link = ("edge-a", "transport")
+        fail = EventSchedule([LinkFailure(slot=3, link=link)])
+        recover = EventSchedule([LinkRecovery(slot=3, link=link)])
+
+        def final_capacity(schedule):
+            residual = ResidualState(make_line_substrate())
+            from repro.scenarios.events import apply_capacity_events
+
+            apply_capacity_events(residual, schedule.capacity_events_at(3))
+            return residual.links[link]
+
+        # fail → recover: atomically a no-op, link ends at nominal.
+        assert final_capacity(fail.compose(recover)) == 500.0
+        # recover → fail: the failure lands last, link ends down.
+        assert final_capacity(recover.compose(fail)) == 0.0
+
+    def test_compose_is_associative_in_events(self):
+        a = EventSchedule([NodeDrain(slot=1, node="x", fraction=0.5)])
+        b = EventSchedule([LinkFailure(slot=1, link=("a", "b"))])
+        c = EventSchedule([NodeRestore(slot=1, node="x")])
+        assert a.compose(b).compose(c).events == a.compose(b, c).events
+
+    def test_compose_policy_conflict_fails_fast(self):
+        preempting = EventSchedule(
+            [LinkFailure(slot=1, link=("a", "b"))], policy="preempt"
+        )
+        rerouting = EventSchedule(
+            [LinkFailure(slot=2, link=("a", "b"))], policy="reroute"
+        )
+        with pytest.raises(SimulationError, match="disagree on disruption"):
+            preempting.compose(rerouting)
+        resolved = preempting.compose(rerouting, policy="reroute")
+        assert resolved.policy == "reroute"
+
+    def test_shifted_moves_all_event_shapes(self):
+        burst = Request(arrival=2, id=1_000_000_000, app_index=0,
+                        ingress="edge-b", demand=1.0, duration=2)
+        schedule = EventSchedule(
+            [
+                LinkFailure(slot=1, link=("a", "b")),
+                FlashCrowd(slot=2, requests=(burst,)),
+                IngressMigration(slot=3, source="edge-a", target="edge-b",
+                                 until=6),
+            ],
+            name="mix",
+        )
+        moved = schedule.shifted(10)
+        assert [e.slot for e in moved.events] == [11, 12, 13]
+        crowd = moved.events[1]
+        assert crowd.requests[0].arrival == 12
+        assert crowd.requests[0].id == burst.id  # identity preserved
+        migration = moved.events[2]
+        assert migration.until == 16
+        assert moved.name == "mix@+10"
+        assert moved.policy == schedule.policy
+
+    def test_shifted_zero_is_identity(self):
+        schedule = EventSchedule([LinkFailure(slot=1, link=("a", "b"))])
+        assert schedule.shifted(0) is schedule
+
+    def test_shifted_rejects_landing_before_slot_zero(self):
+        schedule = EventSchedule([LinkFailure(slot=1, link=("a", "b"))])
+        assert schedule.shifted(-1).events[0].slot == 0
+        with pytest.raises(SimulationError, match="before slot 0"):
+            schedule.shifted(-2)
+
+    def test_flash_crowd_during_drain_through_the_engine(self):
+        """The motivating overlay: a flash crowd hits mid-maintenance."""
+        substrate = make_line_substrate()
+        apps = [make_two_vnf_chain()]
+        drain = EventSchedule(
+            [NodeDrain(slot=1, node="core", fraction=0.0),
+             NodeRestore(slot=6, node="core")],
+            name="maintenance",
+        )
+        crowd = EventSchedule(
+            [FlashCrowd(slot=0, requests=(
+                Request(arrival=2, id=1_000_000_000, app_index=0,
+                        ingress="edge-a", demand=1.0, duration=2),
+            ))],
+            name="crowd",
+        )
+        composed = drain.compose(crowd.shifted(2))
+        algorithm = make_quickg(substrate, apps)
+        result = simulate(algorithm, [], 8, events=composed)
+        assert result.num_events == 3
+        # The injected request arrived (at the shifted slot 4) while the
+        # core was drained — it must have been embedded off-core.
+        decision = result.decisions[0]
+        assert decision.request.arrival == 4
+        assert decision.accepted
+        assert "core" not in decision.embedding.node_map.values()
+
+    def test_overlapping_degradations_on_one_link(self):
+        """Each degradation sets fraction × *nominal* — they override, not
+        stack, and the last same-slot event wins."""
+        substrate = make_line_substrate()
+        apps = [make_two_vnf_chain()]
+        link = ("core", "transport")  # nominal 1500
+        algorithm = make_quickg(substrate, apps)
+        first = CapacityDegradation(slot=2, fraction=0.5, links=(link,))
+        second = CapacityDegradation(slot=2, fraction=0.25, links=(link,))
+        algorithm.apply_events(2, (first, second), "preempt")
+        index = algorithm.residual.index.link_index[link]
+        assert algorithm.residual.link_capacity[index] == 1500.0 * 0.25
+        # A later re-degradation is also nominal-relative: 0.5 of 1500,
+        # not 0.5 of the already-degraded 375.
+        algorithm.apply_events(
+            3,
+            (CapacityDegradation(slot=3, fraction=0.5, links=(link,)),),
+            "preempt",
+        )
+        assert algorithm.residual.link_capacity[index] == 750.0
+
+    def test_recovery_without_failure_is_a_noop(self):
+        """Restoring a healthy element changes nothing and disrupts
+        nothing — no spurious disruption scan, no stranded requests."""
+        substrate = make_line_substrate()
+        apps = [make_two_vnf_chain()]
+        algorithm = make_quickg(substrate, apps)
+        request = Request(arrival=0, id=1, app_index=0, ingress="edge-a",
+                          demand=1.0, duration=6)
+        assert algorithm.process(request).accepted
+        from repro.scenarios.events import apply_capacity_events
+
+        events = (
+            LinkRecovery(slot=2, link=("edge-a", "transport")),
+            NodeRestore(slot=2, node="core"),
+        )
+        assert apply_capacity_events(algorithm.residual, events) is False
+        dropped = algorithm.apply_events(2, events, "preempt")
+        assert dropped == []
+        assert request.id in algorithm.active
+        assert capacity_invariant_gap(algorithm) == pytest.approx(0.0)
+
+
 class TestDisruptionPolicies:
     """Hand-computable stranding on the 4-node line substrate."""
 

@@ -31,14 +31,16 @@ from repro.experiments.figures import (
     run_rejection_vs_utilization,
     run_resilience,
     run_runtime_scaling,
+    run_scale,
     run_shifted_plan,
     run_unexpected_demand,
+    scale_config,
 )
 from repro.registry import topology_registry
 from repro.substrate.topologies import make_topology
 
 #: Metrics whose values are wall-clock timings — locked by key only.
-WALLCLOCK_METRICS = ("runtime",)
+WALLCLOCK_METRICS = ("runtime", "slots_per_sec", "requests_per_sec")
 
 
 def _ci_json(interval) -> dict:
@@ -213,6 +215,15 @@ class TestGoldenFigures:
             policy="preempt",
         )
         golden("fig_resilience", _keyed_json(data))
+
+    def test_fig_scale(self, tiny_config, golden):
+        """The scale curve at the bottom of the ladder: decisions locked,
+        throughput values wall-clock (key-only) like fig16's timings."""
+        data = run_scale(
+            scale_config(tiny_config), sizes=(26, 52),
+            algorithms=("OLIVE", "QUICKG"),
+        )
+        golden("fig_scale", _keyed_json(data))
 
     def test_table2_topologies(self, golden):
         """Table II: the structural summary of every registered topology."""

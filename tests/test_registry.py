@@ -140,10 +140,15 @@ class TestBuiltinEntries:
     def test_builtin_topologies_traces_mixes(self):
         assert set(topology_registry.names()) == {
             "Iris", "CittaStudi", "5GEN", "100N150E",
+            "tiered-x", "waxman", "prefattach", "caida-x",
         }
-        assert set(trace_registry.names()) >= {"mmpp", "caida", "diurnal"}
+        assert set(trace_registry.names()) >= {
+            "mmpp", "caida", "diurnal",
+            "pareto-burst", "ingress-hotspot", "capacity-probe",
+        }
         assert set(app_mix_registry.names()) >= {
             "standard", "chain", "tree", "accelerator", "gpu",
+            "tenants", "tenants-premium", "scale",
         }
         assert set(efficiency_registry.names()) >= {"uniform", "gpu"}
 

@@ -291,6 +291,71 @@ class TestFacadeEntryPoints:
             experiment.stream(algorithm="NOPE")
 
 
+class TestPoissonOffers:
+    """The live-traffic generator behind the serve target."""
+
+    def test_batches_are_well_formed(self, test_scenario):
+        nodes = set(test_scenario.substrate.nodes)
+        num_apps = len(test_scenario.apps)
+        next_id = 10_000_000  # LIVE_ID_BASE
+        total = 0
+        for slot, batch in poisson_offers(test_scenario, 5, make_rng(7)):
+            assert 0 <= slot < 5
+            for request in batch:
+                assert request.arrival == slot
+                assert request.id == next_id  # consecutive, trace-disjoint
+                next_id += 1
+                assert request.ingress in nodes
+                assert 0 <= request.app_index < num_apps
+                assert request.demand >= 0.1
+                assert request.duration >= 1
+                total += 1
+        assert total > 0
+
+    def test_deterministic_under_seed(self, test_scenario):
+        first = list(poisson_offers(test_scenario, 4, make_rng(3)))
+        second = list(poisson_offers(test_scenario, 4, make_rng(3)))
+        assert first == second
+
+    def test_start_slot_and_id_base(self, test_scenario):
+        batches = list(
+            poisson_offers(
+                test_scenario, 3, make_rng(1), start_slot=7, id_base=500
+            )
+        )
+        assert [slot for slot, _ in batches] == [7, 8, 9]
+        assert all(
+            request.arrival == slot
+            for slot, batch in batches
+            for request in batch
+        )
+        ids = [request.id for _, batch in batches for request in batch]
+        assert ids == list(range(500, 500 + len(ids)))
+
+    def test_default_rate_is_config_pressure_per_app(self, test_scenario):
+        """The default rate equals arrivals_per_node / num_apps exactly:
+        passing it explicitly reproduces the same draws from the same
+        rng."""
+        explicit = test_scenario.config.arrivals_per_node / len(
+            test_scenario.apps
+        )
+        implicit_draw = list(poisson_offers(test_scenario, 3, make_rng(9)))
+        explicit_draw = list(
+            poisson_offers(
+                test_scenario, 3, make_rng(9), rate_per_node=explicit
+            )
+        )
+        assert implicit_draw == explicit_draw
+
+    def test_nonpositive_rate_rejected(self, test_scenario):
+        with pytest.raises(SimulationError, match="rate must be positive"):
+            list(
+                poisson_offers(
+                    test_scenario, 2, make_rng(0), rate_per_node=0.0
+                )
+            )
+
+
 class TestServeCLI:
     def test_cli_serve_smoke(self, capsys):
         from repro.experiments.__main__ import main

@@ -141,6 +141,72 @@ class TestSubmit:
         with pytest.raises(SimulationError, match="horizon"):
             session.submit(_request(93, arrival=10))
 
+    def test_out_of_order_slots_replay_like_a_sorted_trace(
+        self, line_substrate, chain_app
+    ):
+        """Submissions arriving in scrambled slot order behave exactly
+        like a trace that carried them sorted from the start."""
+        scrambled = [
+            _request(30, arrival=5),
+            _request(10, arrival=2, demand=2.0),
+            _request(20, arrival=7, duration=1),
+            _request(11, arrival=2),
+            _request(12, arrival=5, demand=0.5),
+        ]
+        session = SimulationSession(
+            make_quickg(line_substrate, [chain_app]), [], 8
+        )
+        for request in scrambled:
+            session.submit(request)
+        assert session.pending_arrivals == len(scrambled)
+        result = session.run()
+
+        # (arrival, id) order — id 12 overtakes the earlier-submitted 30.
+        assert [d.request.id for d in result.decisions] == [
+            10, 11, 12, 30, 20,
+        ]
+        batch = simulate(
+            make_quickg(line_substrate, [chain_app]), sorted(scrambled), 8
+        )
+        assert result.decisions == batch.decisions
+        assert np.array_equal(result.allocated_demand, batch.allocated_demand)
+
+    def test_same_slot_descending_ids_process_in_id_order(
+        self, line_substrate, chain_app
+    ):
+        session = SimulationSession(
+            make_quickg(line_substrate, [chain_app]), [], 6
+        )
+        for rid in (9, 3, 6):
+            session.submit(_request(rid, arrival=1))
+        result = session.run()
+        assert [d.request.id for d in result.decisions] == [3, 6, 9]
+
+    def test_mid_run_submissions_interleave_with_seed_trace(
+        self, line_substrate, chain_app
+    ):
+        """Late out-of-order submissions between steps still land in
+        sorted position among the seed trace's pending arrivals."""
+        seed_trace = [_request(i, arrival=i % 4) for i in range(8)]
+        session = SimulationSession(
+            make_quickg(line_substrate, [chain_app]), list(seed_trace), 10
+        )
+        session.run_until(2)
+        extras = [_request(50, arrival=4), _request(40, arrival=3)]
+        for request in extras:  # submitted later-slot-first
+            session.submit(request)
+        streamed = session.run()
+
+        batch = simulate(
+            make_quickg(line_substrate, [chain_app]),
+            sorted(seed_trace + extras),
+            10,
+        )
+        assert streamed.decisions == batch.decisions
+        assert np.array_equal(
+            streamed.allocated_demand, batch.allocated_demand
+        )
+
     def test_submitted_departure_releases(self, line_substrate, chain_app):
         session = SimulationSession(
             make_quickg(line_substrate, [chain_app]), [], 8

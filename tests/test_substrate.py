@@ -11,13 +11,18 @@ from repro.substrate.tiers import (
     link_tier,
 )
 from repro.substrate.topologies import (
+    DEFAULT_SCALE_NODES,
     TOPOLOGY_BUILDERS,
     make_100n150e,
     make_5gen,
+    make_caida_expander,
     make_citta_studi,
     make_iris,
+    make_preferential,
+    make_scaled_tiered,
     make_tiered_topology,
     make_topology,
+    make_waxman,
     split_gpu_datacenters,
 )
 
@@ -150,7 +155,10 @@ class TestTopologies:
             make_topology("Atlantis")
 
     def test_registry_covers_all_builders(self):
-        assert set(TOPOLOGY_BUILDERS) == set(PUBLISHED_COUNTS)
+        assert set(TOPOLOGY_BUILDERS) >= set(PUBLISHED_COUNTS)
+        assert set(TOPOLOGY_BUILDERS) - set(PUBLISHED_COUNTS) == {
+            "tiered-x", "waxman", "prefattach", "caida-x",
+        }
 
     def test_tiered_builder_rejects_too_few_links(self):
         with pytest.raises(TopologyError, match="at least"):
@@ -161,6 +169,90 @@ class TestTopologies:
             make_tiered_topology(
                 "x", 1, 2, 3, num_links=8, edge_names=("only-one",)
             )
+
+    @pytest.mark.parametrize(
+        "counts",
+        [
+            (0, 3, 5),   # empty core tier used to ZeroDivisionError
+            (2, 0, 5),   # empty transport tier likewise
+            (2, 3, 0),   # no edge nodes: malformed for trace generation
+            (-1, 3, 5),  # negative counts built silently malformed graphs
+            (2, -3, 5),
+            (2, 3, -5),
+        ],
+    )
+    def test_tiered_builder_rejects_nonpositive_tier_counts(self, counts):
+        core, transport, edge = counts
+        with pytest.raises(TopologyError, match="at least 1"):
+            make_tiered_topology("x", core, transport, edge, num_links=50)
+
+    def test_tiered_builder_rejects_nonpositive_link_count(self):
+        with pytest.raises(TopologyError, match="num_links"):
+            make_tiered_topology("x", 2, 3, 5, num_links=0)
+
+    def test_tiered_builder_rejects_non_integer_counts(self):
+        with pytest.raises(TopologyError, match="integer"):
+            make_tiered_topology("x", 2.5, 3, 5, num_links=12)
+
+
+SCALE_BUILDERS = {
+    "tiered-x": make_scaled_tiered,
+    "waxman": make_waxman,
+    "prefattach": make_preferential,
+    "caida-x": make_caida_expander,
+}
+
+
+class TestScaleFamilies:
+    """Parameterized generated topologies (the fig_scale substrate tier)."""
+
+    @pytest.mark.parametrize("family", sorted(SCALE_BUILDERS))
+    def test_sized_metadata_and_default_size(self, family):
+        from repro.registry import topology_registry
+
+        assert topology_registry.get(family).metadata["sized"] is True
+        substrate = make_topology(family)
+        assert substrate.num_nodes == DEFAULT_SCALE_NODES
+
+    @pytest.mark.parametrize("family", sorted(SCALE_BUILDERS))
+    @pytest.mark.parametrize("size", [40, 200])
+    def test_sized_name_builds_exact_node_count(self, family, size):
+        substrate = make_topology(f"{family}:{size}")
+        assert substrate.num_nodes == size
+        # Connectivity is enforced by the SubstrateNetwork constructor;
+        # all three tiers must exist for the trace/plan machinery.
+        assert substrate.edge_nodes
+        assert substrate.transport_nodes
+        assert substrate.core_nodes
+
+    @pytest.mark.parametrize("family", sorted(SCALE_BUILDERS))
+    def test_builders_are_deterministic(self, family):
+        a = make_topology(f"{family}:64")
+        b = make_topology(f"{family}:64")
+        assert a.nodes == b.nodes
+        assert set(a.links) == set(b.links)
+
+    @pytest.mark.parametrize("family", sorted(SCALE_BUILDERS))
+    def test_link_budget_scales_superlinearly_in_nodes(self, family):
+        substrate = make_topology(f"{family}:100")
+        assert substrate.num_links >= substrate.num_nodes
+
+    def test_size_suffix_rejected_for_catalog_topologies(self):
+        with pytest.raises(TopologyError, match="does not take a size"):
+            make_topology("Iris:500")
+
+    def test_malformed_size_suffix_rejected(self):
+        with pytest.raises(TopologyError, match="bad topology size"):
+            make_topology("waxman:huge")
+
+    def test_unknown_family_with_size_raises(self):
+        with pytest.raises(TopologyError, match="unknown topology"):
+            make_topology("torus:64")
+
+    @pytest.mark.parametrize("family", sorted(SCALE_BUILDERS))
+    def test_undersized_request_rejected(self, family):
+        with pytest.raises(TopologyError, match="at least"):
+            make_topology(f"{family}:5")
 
 
 class TestGpuSplit:

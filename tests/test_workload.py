@@ -9,6 +9,13 @@ from repro.utils.rng import make_rng
 from repro.workload.arrivals import MMPPProcess, PoissonProcess
 from repro.workload.popularity import assign_node_popularity, zipf_weights
 from repro.workload.request import Request
+from repro.workload.adversarial import (
+    generate_capacity_probe_trace,
+    generate_ingress_hotspot_trace,
+    generate_pareto_burst_trace,
+    hotspot_probabilities,
+    pareto_burst_counts,
+)
 from repro.workload.trace import (
     TraceConfig,
     demand_mean_for_utilization,
@@ -178,6 +185,140 @@ class TestTrace:
             TraceConfig(history_slots=0)
         with pytest.raises(WorkloadError):
             TraceConfig(demand_mean=0.0)
+
+
+class TestAdversarialTraces:
+    def _config(self, **overrides):
+        defaults = dict(
+            history_slots=120, online_slots=40, arrivals_per_node=2.0
+        )
+        defaults.update(overrides)
+        return TraceConfig(**defaults)
+
+    def _apps(self, rng):
+        return [make_chain(rng, num_vnfs=3)]
+
+    @pytest.mark.parametrize(
+        "generate",
+        [
+            generate_pareto_burst_trace,
+            generate_ingress_hotspot_trace,
+            generate_capacity_probe_trace,
+        ],
+        ids=["pareto-burst", "ingress-hotspot", "capacity-probe"],
+    )
+    def test_basic_invariants_and_determinism(self, line_substrate, generate):
+        apps = self._apps(make_rng(0))
+        a = generate(line_substrate, apps, self._config(), make_rng(7))
+        b = generate(line_substrate, apps, self._config(), make_rng(7))
+        assert a.requests == b.requests
+        assert a.num_requests > 0
+        edge = set(line_substrate.edge_nodes)
+        assert all(r.ingress in edge for r in a.requests)
+        assert all(r.demand > 0 and r.duration >= 1 for r in a.requests)
+        assert all(r.arrival < self._config().total_slots for r in a.requests)
+
+    def test_pareto_burst_is_heavier_tailed_than_poisson(self):
+        rng = make_rng(3)
+        counts = pareto_burst_counts(20000, 10.0, rng, shape=1.8)
+        assert counts.mean() == pytest.approx(10.0, rel=0.25)
+        # Heavy modulation: variance far above the Poisson variance (=mean).
+        assert counts.var() > 5.0 * counts.mean()
+
+    def test_pareto_burst_rejects_infinite_mean_shape(self):
+        with pytest.raises(WorkloadError, match="exceed 1"):
+            pareto_burst_counts(10, 1.0, make_rng(0), shape=1.0)
+
+    def test_hotspot_rotates_between_phases(self, line_substrate):
+        apps = self._apps(make_rng(0))
+        config = self._config()
+        trace = generate_ingress_hotspot_trace(
+            line_substrate, apps, config, make_rng(11), concentration=0.9
+        )
+        cut = config.history_slots
+
+        def top_ingress(requests):
+            share = {}
+            for r in requests:
+                share[r.ingress] = share.get(r.ingress, 0) + 1
+            return max(share, key=share.get)
+
+        history_hot = top_ingress([r for r in trace.requests if r.arrival < cut])
+        online_hot = top_ingress([r for r in trace.requests if r.arrival >= cut])
+        assert history_hot != online_hot
+
+    def test_hotspot_concentration_observed(self, line_substrate):
+        apps = self._apps(make_rng(0))
+        trace = generate_ingress_hotspot_trace(
+            line_substrate, apps, self._config(), make_rng(11),
+            concentration=0.8,
+        )
+        cut = trace.config.history_slots
+        history = [r for r in trace.requests if r.arrival < cut]
+        share = {}
+        for r in history:
+            share[r.ingress] = share.get(r.ingress, 0) + 1
+        assert max(share.values()) / len(history) == pytest.approx(
+            0.8, abs=0.1
+        )
+
+    def test_hotspot_probabilities_validation(self):
+        with pytest.raises(WorkloadError, match="strict non-empty subset"):
+            hotspot_probabilities(4, np.arange(4), 0.8)
+        with pytest.raises(WorkloadError, match="strict non-empty subset"):
+            hotspot_probabilities(4, np.arange(0), 0.8)
+
+    def test_hotspot_parameter_validation(self, line_substrate, rng):
+        apps = self._apps(rng)
+        with pytest.raises(WorkloadError, match="hotspot_fraction"):
+            generate_ingress_hotspot_trace(
+                line_substrate, apps, self._config(), rng,
+                hotspot_fraction=0.9,
+            )
+        with pytest.raises(WorkloadError, match="concentration"):
+            generate_ingress_hotspot_trace(
+                line_substrate, apps, self._config(), rng, concentration=1.0
+            )
+
+    def test_capacity_probe_demands_are_bimodal(self, line_substrate):
+        apps = self._apps(make_rng(0))
+        config = self._config(demand_mean=10.0, demand_floor=0.1)
+        trace = generate_capacity_probe_trace(
+            line_substrate, apps, config, make_rng(13),
+            probe_fraction=0.9, spike_multiplier=8.0,
+        )
+        demands = np.array([r.demand for r in trace.requests])
+        probes = demands <= config.demand_floor + 1e-9
+        assert probes.mean() == pytest.approx(0.9, abs=0.05)
+        # Spikes sit around 8× the configured mean, far above the probes.
+        assert demands[~probes].mean() > 4 * config.demand_mean
+        probe_durations = [
+            r.duration for r, p in zip(trace.requests, probes) if p
+        ]
+        assert set(probe_durations) == {1}
+
+    def test_capacity_probe_parameter_validation(self, line_substrate, rng):
+        apps = self._apps(rng)
+        with pytest.raises(WorkloadError, match="probe_fraction"):
+            generate_capacity_probe_trace(
+                line_substrate, apps, self._config(), rng, probe_fraction=1.0
+            )
+        with pytest.raises(WorkloadError, match="amplify"):
+            generate_capacity_probe_trace(
+                line_substrate, apps, self._config(), rng, spike_multiplier=0.5
+            )
+
+    def test_registry_dispatch(self, line_substrate, rng):
+        from repro.registry import trace_registry
+
+        assert {
+            "pareto-burst", "ingress-hotspot", "capacity-probe"
+        } <= set(trace_registry.names())
+        trace = trace_registry.create(
+            "pareto-burst", line_substrate, self._apps(rng),
+            self._config(), rng,
+        )
+        assert trace.num_requests > 0
 
 
 class TestUtilizationCalibration:
