@@ -30,8 +30,8 @@ import numpy as np
 from _bench_utils import FAST, RESULTS_DIR, bench_config, record
 from repro.baselines.quickg import make_quickg
 from repro.core import greedy_reference
-from repro.core.greedy import GreedyContext
 from repro.core.embedding import compute_loads
+from repro.core.greedy import GreedyContext
 from repro.core.olive import OliveAlgorithm
 from repro.core.residual import ResidualState
 from repro.experiments.scenario import build_scenario

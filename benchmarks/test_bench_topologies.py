@@ -5,7 +5,6 @@ them against the published values; benchmarks topology construction time.
 """
 
 from _bench_utils import record
-
 from repro.substrate.tiers import (
     TIER_LINK_CAPACITY,
     TIER_MEAN_NODE_COST,

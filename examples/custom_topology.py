@@ -28,7 +28,7 @@ from repro import (
     register_topology,
     simulate,
 )
-from repro.apps.application import ROOT_ID, Application, VNF, VNFKind, VirtualLink
+from repro.apps.application import ROOT_ID, VNF, Application, VirtualLink, VNFKind
 from repro.apps.efficiency import EfficiencyModel
 from repro.sim.metrics import rejection_rate
 from repro.stats.aggregate import build_aggregate_demand

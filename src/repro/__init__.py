@@ -37,6 +37,17 @@ The lower-level building blocks stay public — ``build_scenario`` /
 hand when the facade is too coarse.
 """
 
+# isort: skip_file
+#
+# The imports below are in *dependency* order, not alphabetical order,
+# and must stay that way: this __init__ runs before any `repro.*`
+# submodule import, so it is what resolves the plan <-> core cycle
+# (plan.replanning -> core.olive -> core.embedding -> plan.pattern).
+# Importing `repro.plan` before `repro.core` guarantees `plan.pattern`
+# is fully initialized by the time `core.embedding` needs it;
+# alphabetizing (api first) enters the cycle from the wrong side and
+# raises ImportError at interpreter start.
+
 from repro.errors import (
     ApplicationError,
     InfeasibleError,

@@ -63,7 +63,6 @@ from repro.registry import (
 from repro.scenarios import profiles as _event_profiles  # noqa: F401 (registers presets)
 from repro.scenarios.events import DISRUPTION_POLICIES, EventSchedule
 from repro.sim.engine import SimulationResult, simulate
-from repro.sim.session import SimulationSession
 from repro.sim.metrics import (
     availability,
     balance_index,
@@ -72,12 +71,13 @@ from repro.sim.metrics import (
     mean_recovery_time,
     rejection_rate,
 )
-from repro.utils.rng import child_rng, make_rng
 from repro.sim.runner import (
     ConfidenceInterval,
     ParallelRunner,
     get_default_runner,
 )
+from repro.sim.session import SimulationSession
+from repro.utils.rng import child_rng, make_rng
 
 #: The paper's default comparison set (FULLG joins in Fig. 9/10 only).
 DEFAULT_ALGORITHMS = ("OLIVE", "QUICKG", "SLOTOFF")
@@ -425,7 +425,8 @@ class SweepResult:
     def to_csv(self, path=None) -> str:
         """Render :meth:`to_rows` as CSV; optionally write it to ``path``."""
         rows = self.to_rows()
-        columns = list(self.sweep_params) + [
+        columns = [
+            *self.sweep_params,
             "algorithm", "metric", "mean", "half_width", "low", "high",
             "count", "confidence",
         ]

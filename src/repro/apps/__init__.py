@@ -7,12 +7,7 @@ carry sizes β, and whose root θ represents the user's ingress point
 (in)efficiency coefficients η implemented in :mod:`repro.apps.efficiency`.
 """
 
-from repro.apps.application import Application, VirtualLink, VNF, VNFKind
-from repro.apps.efficiency import (
-    EfficiencyModel,
-    GpuAwareEfficiency,
-    UniformEfficiency,
-)
+from repro.apps.application import VNF, Application, VirtualLink, VNFKind
 from repro.apps.catalog import (
     draw_standard_mix,
     make_accelerator,
@@ -20,6 +15,11 @@ from repro.apps.catalog import (
     make_gpu_chain,
     make_tree,
     make_uniform_type_set,
+)
+from repro.apps.efficiency import (
+    EfficiencyModel,
+    GpuAwareEfficiency,
+    UniformEfficiency,
 )
 
 __all__ = [

@@ -14,7 +14,7 @@ The two models used in the evaluation:
 
 from __future__ import annotations
 
-from repro.apps.application import VNF, VNFKind, VirtualLink
+from repro.apps.application import VNF, VirtualLink, VNFKind
 from repro.registry import register_efficiency
 from repro.substrate.network import LinkAttrs, NodeAttrs
 

@@ -12,10 +12,10 @@
   reconsidered.
 """
 
-from repro.baselines.quickg import make_quickg
 from repro.baselines.fullg import FullGAlgorithm, exact_embed
-from repro.baselines.slotoff import SlotOffAlgorithm
 from repro.baselines.noderank import NodeRankAlgorithm, compute_node_ranks
+from repro.baselines.quickg import make_quickg
+from repro.baselines.slotoff import SlotOffAlgorithm
 
 __all__ = [
     "make_quickg",

@@ -134,7 +134,7 @@ class SlotOffAlgorithm:
 
         # Resource cost = objective minus the quantile rejection penalty.
         rejection_cost = 0.0
-        for (c, p), var in model.quantile_vars.items():
+        for (_c, _p), var in model.quantile_vars.items():
             rejection_cost += solution.values[var] * (
                 model.program.objective_coefficient(var)
             )

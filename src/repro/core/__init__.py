@@ -17,16 +17,16 @@ This package holds the online machinery shared by OLIVE and the baselines:
   partial-fit embedding, preemption, and greedy fallback.
 """
 
-from repro.core.embedding import Embedding, ElementLoads, compute_loads
-from repro.core.residual import PlanResidual, ResidualState
+from repro.core.embedding import ElementLoads, Embedding, compute_loads
 from repro.core.greedy import GreedyContext, PathCache, greedy_embed
+from repro.core.olive import Decision, OliveAlgorithm
 from repro.core.profile import (
     AppProfile,
     AppProfileCache,
     LoadsRecipe,
     MemoizedEfficiency,
 )
-from repro.core.olive import Decision, OliveAlgorithm
+from repro.core.residual import PlanResidual, ResidualState
 
 __all__ = [
     "Embedding",

@@ -49,7 +49,7 @@ import numpy as np
 
 from repro.apps.application import ROOT_ID, Application
 from repro.apps.efficiency import EfficiencyModel
-from repro.core.embedding import Embedding, ElementLoads, compute_loads
+from repro.core.embedding import ElementLoads, Embedding, compute_loads
 from repro.core.profile import AppProfile, AppProfileCache
 from repro.core.residual import ResidualState
 from repro.substrate.network import SubstrateIndex, SubstrateNetwork
@@ -511,8 +511,8 @@ def _two_host_embed(
         w_id = index.node_ids[w]
         hosts = {"root": request.ingress, "generic": v_id, "gpu": w_id}
         node_map = {ROOT_ID: request.ingress}
-        node_map.update({i: v_id for i in generic_ids})
-        node_map.update({i: w_id for i in gpu_ids})
+        node_map.update({i: v_id for i in sorted(generic_ids)})
+        node_map.update({i: w_id for i in sorted(gpu_ids)})
         link_paths = {}
         feasible = True
         for vlink in app.links:

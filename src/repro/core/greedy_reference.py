@@ -226,8 +226,8 @@ def _two_host_embed(
 
         hosts = {"root": request.ingress, "generic": v, "gpu": w}
         node_map = {ROOT_ID: request.ingress}
-        node_map.update({i: v for i in generic_ids})
-        node_map.update({i: w for i in gpu_ids})
+        node_map.update({i: v for i in sorted(generic_ids)})
+        node_map.update({i: w for i in sorted(gpu_ids)})
         link_paths = {}
         feasible = True
         for vlink in app.links:

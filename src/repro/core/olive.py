@@ -30,7 +30,7 @@ from dataclasses import dataclass, field
 from repro.apps.application import Application
 from repro.apps.efficiency import EfficiencyModel, UniformEfficiency
 from repro.core import greedy_reference
-from repro.core.embedding import Embedding, ElementLoads, compute_loads
+from repro.core.embedding import ElementLoads, Embedding, compute_loads
 from repro.core.greedy import GreedyContext
 from repro.core.profile import LoadsRecipe
 from repro.core.residual import EPSILON, PlanResidual, ResidualState

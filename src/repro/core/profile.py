@@ -24,7 +24,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.apps.application import ROOT_ID, Application, VNF, VNFKind, VirtualLink
+from repro.apps.application import ROOT_ID, VNF, Application, VirtualLink, VNFKind
 from repro.apps.efficiency import EfficiencyModel
 from repro.core.embedding import ElementLoads, compute_loads
 from repro.substrate.network import LinkAttrs, NodeAttrs, SubstrateNetwork
@@ -117,9 +117,7 @@ class AppProfile:
         # node-independent η, the per-node load degenerates to one scalar.
         self._group_terms: dict[str, list[tuple[float, np.ndarray]]] = {}
         self._group_consts: dict[str, list[tuple[float, float]] | None] = {}
-        for key, ids in [("all", self.vnf_ids)] + list(
-            self.sorted_groups.items()
-        ):
+        for key, ids in [("all", self.vnf_ids), *self.sorted_groups.items()]:
             terms = [(self.sizes[i], self.eta[i]) for i in ids]
             self._group_terms[key] = terms
             consts: list[tuple[float, float]] | None = []

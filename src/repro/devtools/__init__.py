@@ -1,0 +1,8 @@
+"""Developer tooling that ships with the library but never runs in it.
+
+``repro.devtools`` hosts the static-analysis layer (:mod:`repro.devtools.lint`)
+that machine-checks the reproducibility contract the test suite enforces
+dynamically: bit-exact golden snapshots across Python versions, ``jobs=1`` ≡
+``jobs=N``, fast-vs-reference oracle identity, session ≡ batch. Nothing in
+here is imported by ``repro`` at runtime.
+"""

@@ -1,0 +1,107 @@
+"""Committed baseline of grandfathered findings.
+
+The baseline lets the linter land with a non-empty tree: pre-existing
+findings are fingerprinted (rule + path + enclosing context + message —
+no line numbers, so unrelated edits don't churn it) and recorded in a
+JSON file; only findings *not* in the baseline fail the run. Entries are
+counted, so two identical hazards in one function need two baseline
+slots — fixing one is progress the tool can see. Stale entries (baselined
+findings that no longer occur) are reported so the file ratchets down and
+never accumulates dead weight; ``--write-baseline`` rewrites it from the
+current tree.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.devtools.lint.framework import Finding, LintError
+
+__all__ = ["Baseline", "partition_findings"]
+
+_VERSION = 1
+
+
+@dataclass
+class Baseline:
+    """Fingerprint → allowed-occurrence-count map, with provenance notes."""
+
+    counts: Counter = field(default_factory=Counter)
+    notes: dict[str, str] = field(default_factory=dict)
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        except OSError as exc:
+            raise LintError(f"cannot read baseline {path}: {exc}") from exc
+        except json.JSONDecodeError as exc:
+            raise LintError(f"baseline {path} is not valid JSON: {exc}") from exc
+        if payload.get("version") != _VERSION:
+            raise LintError(
+                f"baseline {path} has version {payload.get('version')!r}; "
+                f"this tool writes version {_VERSION}"
+            )
+        baseline = cls()
+        for entry in payload.get("findings", []):
+            fingerprint = entry["fingerprint"]
+            baseline.counts[fingerprint] += int(entry.get("count", 1))
+            if "note" in entry:
+                baseline.notes[fingerprint] = entry["note"]
+        return baseline
+
+    @classmethod
+    def from_findings(cls, findings: list[Finding]) -> "Baseline":
+        baseline = cls()
+        for finding in findings:
+            baseline.counts[finding.fingerprint] += 1
+            baseline.notes.setdefault(
+                finding.fingerprint,
+                f"{finding.rule} {finding.path} ({finding.context})",
+            )
+        return baseline
+
+    def write(self, path: Path) -> None:
+        entries = [
+            {
+                "fingerprint": fingerprint,
+                "count": count,
+                "note": self.notes.get(fingerprint, ""),
+            }
+            for fingerprint, count in sorted(self.counts.items())
+        ]
+        payload = {"version": _VERSION, "findings": entries}
+        path.write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+
+
+def partition_findings(
+    findings: list[Finding], baseline: Baseline | None
+) -> tuple[list[Finding], list[Finding], list[str]]:
+    """Split unsuppressed findings into (new, baselined) + stale entries.
+
+    ``stale`` is the list of baseline fingerprints whose budget was not
+    (fully) consumed by the current findings — hazards that were fixed but
+    whose baseline slots were never removed.
+    """
+    active = [f for f in findings if not f.suppressed]
+    if baseline is None:
+        return active, [], []
+    budget = Counter(baseline.counts)
+    new: list[Finding] = []
+    matched: list[Finding] = []
+    for finding in active:
+        if budget[finding.fingerprint] > 0:
+            budget[finding.fingerprint] -= 1
+            matched.append(finding)
+        else:
+            new.append(finding)
+    stale = sorted(
+        fingerprint for fingerprint, count in budget.items() if count > 0
+    )
+    return new, matched, stale

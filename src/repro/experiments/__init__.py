@@ -11,13 +11,6 @@ keyed by parameters + code version.
 
 from repro.experiments.cache import ResultCache, configure_cache, get_active_cache
 from repro.experiments.config import ExperimentConfig
-from repro.experiments.scenario import (
-    ALGORITHM_NAMES,
-    Scenario,
-    algorithms_need_plan,
-    build_scenario,
-    make_algorithm,
-)
 from repro.experiments.figures import (
     collect_node_timeline,
     run_balance_quantiles,
@@ -30,6 +23,13 @@ from repro.experiments.figures import (
     run_shifted_plan,
     run_single,
     run_unexpected_demand,
+)
+from repro.experiments.scenario import (
+    ALGORITHM_NAMES,
+    Scenario,
+    algorithms_need_plan,
+    build_scenario,
+    make_algorithm,
 )
 
 __all__ = [

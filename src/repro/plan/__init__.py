@@ -6,18 +6,18 @@ unsplittable VN mappings with fractional weights — that OLIVE consumes as
 its residual plan (Eq. 17) during the online phase.
 """
 
-from repro.plan.pattern import ClassPlan, EmbeddingPattern, Plan
-from repro.plan.formulation import PlanVNEConfig, PlanVNEModel, build_plan_vne
-from repro.plan.decompose import decompose_class
-from repro.plan.rejection import rejection_factor
 from repro.plan.api import compute_plan, empty_plan
+from repro.plan.decompose import decompose_class
+from repro.plan.formulation import PlanVNEConfig, PlanVNEModel, build_plan_vne
+from repro.plan.pattern import ClassPlan, EmbeddingPattern, Plan
+from repro.plan.rejection import rejection_factor
+from repro.plan.replanning import ReplanningOliveAlgorithm
 from repro.plan.validate import PlanValidation, validate_plan
 from repro.plan.windowed import (
     PlanSchedule,
     WindowedOliveAlgorithm,
     compute_windowed_plans,
 )
-from repro.plan.replanning import ReplanningOliveAlgorithm
 
 __all__ = [
     "EmbeddingPattern",

@@ -132,7 +132,7 @@ def _trace_flow_path(
                 return None  # dead end: no sink here, no outgoing flow
             nxt = best_arc[1]
             if nxt in position:
-                _cancel_cycle(flows, arcs + [best_arc], position[nxt])
+                _cancel_cycle(flows, [*arcs, best_arc], position[nxt])
                 cancelled = True
                 break
             arcs.append(best_arc)

@@ -188,7 +188,7 @@ def build_plan_vne(
                 tail_var = model.node_vars.get((c, vlink.tail, v))
                 if tail_var is not None:
                     terms[tail_var] = -1.0
-                for w, link in substrate.adjacency[v]:
+                for w, _link in substrate.adjacency[v]:
                     terms[model.arc_vars[(c, vlink.key, (w, v))]] = -1.0
                     terms[model.arc_vars[(c, vlink.key, (v, w))]] = 1.0
                 if terms:

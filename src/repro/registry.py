@@ -30,6 +30,7 @@ from __future__ import annotations
 from collections.abc import Callable, Iterator, Mapping
 from dataclasses import dataclass, field
 from types import MappingProxyType
+from typing import Any, TypeVar
 
 from repro.errors import (
     ApplicationError,
@@ -58,13 +59,18 @@ __all__ = [
     "register_admission_policy",
 ]
 
+#: A registered component factory (call signatures vary per family).
+Factory = Callable[..., Any]
+
+_F = TypeVar("_F", bound=Factory)
+
 
 @dataclass(frozen=True)
 class RegistryEntry:
     """One registered component: its factory plus per-entry metadata."""
 
     name: str
-    factory: Callable
+    factory: Factory
     description: str = ""
     metadata: Mapping[str, object] = field(
         default_factory=lambda: MappingProxyType({})
@@ -104,8 +110,8 @@ class Registry:
         name: str | None = None,
         *,
         description: str = "",
-        **metadata,
-    ) -> Callable:
+        **metadata: object,
+    ) -> Callable[[_F], _F]:
         """Decorator registering a factory under ``name``.
 
         Without ``name`` the factory's ``__name__`` is used. Extra
@@ -113,7 +119,7 @@ class Registry:
         ``metrics``, ...).
         """
 
-        def decorator(factory: Callable) -> Callable:
+        def decorator(factory: _F) -> _F:
             key = name if name is not None else factory.__name__
             if key in self._entries:
                 raise RegistryError(
@@ -150,7 +156,7 @@ class Registry:
                 f"knows: {sorted(self._entries)}"
             ) from None
 
-    def create(self, name: str, *args, **kwargs):
+    def create(self, name: str, *args: Any, **kwargs: Any) -> Any:
         """Instantiate ``name``'s component via its factory."""
         return self.get(name).factory(*args, **kwargs)
 
@@ -169,12 +175,12 @@ class Registry:
     def __len__(self) -> int:
         return len(self._entries)
 
-    def as_mapping(self) -> Mapping[str, Callable]:
+    def as_mapping(self) -> Mapping[str, Factory]:
         """A live read-only ``{name: factory}`` view (legacy dict shape)."""
         return _FactoryView(self)
 
 
-class _FactoryView(Mapping):
+class _FactoryView(Mapping[str, Factory]):
     """Read-only mapping proxy exposing a registry as ``{name: factory}``.
 
     Kept so legacy constants like ``TOPOLOGY_BUILDERS`` stay importable
@@ -184,7 +190,7 @@ class _FactoryView(Mapping):
     def __init__(self, registry: Registry) -> None:
         self._registry = registry
 
-    def __getitem__(self, name: str) -> Callable:
+    def __getitem__(self, name: str) -> Factory:
         # Mapping contract: missing keys raise KeyError (``in`` relies on
         # it); the registry's rich domain error stays on ``Registry.get``.
         try:

@@ -8,8 +8,8 @@ migrations — consumed slot-by-slot by the simulation engine.
 """
 
 from repro.scenarios.events import (
-    CapacityDegradation,
     DISRUPTION_POLICIES,
+    CapacityDegradation,
     Event,
     EventCursor,
     EventSchedule,

@@ -28,7 +28,7 @@ from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Any, Protocol
 
 from repro.core.residual import EPSILON
 from repro.errors import SimulationError
@@ -47,6 +47,30 @@ if TYPE_CHECKING:  # pragma: no cover
 #: Valid disruption policies for requests stranded by capacity events.
 DISRUPTION_POLICIES = ("preempt", "reroute")
 
+#: ``("node"|"link", element, new_capacity)`` — one effective-capacity write.
+CapacityChange = tuple[str, object, float]
+
+
+class ResidualAlgorithm(Protocol):
+    """What the disruption resolver needs from an algorithm.
+
+    Structural contract shared by OLIVE/QUICKG/FULLG (and anything else
+    routing ``apply_events`` through :func:`apply_and_resolve`): explicit
+    residual bookkeeping plus release/reroute hooks. ``active_loads``
+    yields ``(request, loads)`` pairs in insertion order — identical
+    between the fast and reference engines, which is what keeps victim
+    selection bit-equivalent.
+    """
+
+    name: str
+    residual: Any
+
+    def active_loads(self) -> Any: ...
+
+    def release(self, request: Request) -> None: ...
+
+    def reroute(self, request: Request) -> bool: ...
+
 
 @dataclass(frozen=True)
 class Event:
@@ -56,7 +80,7 @@ class Event:
 
     def capacity_changes(
         self, substrate: SubstrateNetwork
-    ) -> list[tuple[str, object, float]]:
+    ) -> list[CapacityChange]:
         """``("node"|"link", element, new_capacity)`` tuples, if any."""
         return []
 
@@ -70,7 +94,9 @@ class LinkFailure(Event):
 
     link: LinkId = ("", "")
 
-    def capacity_changes(self, substrate):
+    def capacity_changes(
+        self, substrate: SubstrateNetwork
+    ) -> list[CapacityChange]:
         return [("link", self.link, 0.0)]
 
 
@@ -80,7 +106,9 @@ class LinkRecovery(Event):
 
     link: LinkId = ("", "")
 
-    def capacity_changes(self, substrate):
+    def capacity_changes(
+        self, substrate: SubstrateNetwork
+    ) -> list[CapacityChange]:
         return [("link", self.link, substrate.link_capacity(self.link))]
 
 
@@ -95,7 +123,9 @@ class NodeDrain(Event):
     node: NodeId = ""
     fraction: float = 0.0
 
-    def capacity_changes(self, substrate):
+    def capacity_changes(
+        self, substrate: SubstrateNetwork
+    ) -> list[CapacityChange]:
         return [
             ("node", self.node,
              substrate.node_capacity(self.node) * self.fraction)
@@ -108,7 +138,9 @@ class NodeRestore(Event):
 
     node: NodeId = ""
 
-    def capacity_changes(self, substrate):
+    def capacity_changes(
+        self, substrate: SubstrateNetwork
+    ) -> list[CapacityChange]:
         return [("node", self.node, substrate.node_capacity(self.node))]
 
 
@@ -124,8 +156,10 @@ class CapacityDegradation(Event):
     links: tuple[LinkId, ...] = ()
     nodes: tuple[NodeId, ...] = ()
 
-    def capacity_changes(self, substrate):
-        changes: list[tuple[str, object, float]] = []
+    def capacity_changes(
+        self, substrate: SubstrateNetwork
+    ) -> list[CapacityChange]:
+        changes: list[CapacityChange] = []
         for node in self.nodes:
             changes.append(
                 ("node", node, substrate.node_capacity(node) * self.fraction)
@@ -520,7 +554,7 @@ def apply_capacity_events(
 
 
 def apply_and_resolve(
-    algorithm, events: tuple[Event, ...], policy: str
+    algorithm: ResidualAlgorithm, events: tuple[Event, ...], policy: str
 ) -> list[Request]:
     """One slot's capacity events against a residual-tracking algorithm.
 
@@ -533,7 +567,9 @@ def apply_and_resolve(
     return resolve_disruptions(algorithm, policy)
 
 
-def resolve_disruptions(algorithm, policy: str) -> list[Request]:
+def resolve_disruptions(
+    algorithm: ResidualAlgorithm, policy: str
+) -> list[Request]:
     """Resolve allocations stranded by a capacity cut, deterministically.
 
     While any element's residual is negative, the earliest still-active
@@ -630,7 +666,7 @@ def substrate_with_capacities(
     return SubstrateNetwork(name=substrate.name, nodes=nodes, links=links)
 
 
-def capacity_invariant_gap(algorithm) -> float:
+def capacity_invariant_gap(algorithm: ResidualAlgorithm) -> float:
     """max |residual + Σ active loads − effective capacity| over elements.
 
     The capacity invariant every residual-tracking algorithm must keep;

@@ -28,9 +28,14 @@ depth, utilization — but must not mutate it.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 from repro.errors import SimulationError
 from repro.registry import register_admission_policy
 from repro.workload.request import Request
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.serve.service import EmbedderService
 
 
 class AdmissionPolicy:
@@ -39,7 +44,9 @@ class AdmissionPolicy:
     #: Registry name (informational; set by the service when resolving).
     name = "always"
 
-    def decide(self, request: Request, service) -> str | None:
+    def decide(
+        self, request: Request, service: EmbedderService
+    ) -> str | None:
         """``None`` to admit ``request``, else a shed reason."""
         return None
 
@@ -64,7 +71,9 @@ class QueueBound(AdmissionPolicy):
             )
         self.max_pending = max_pending
 
-    def decide(self, request: Request, service) -> str | None:
+    def decide(
+        self, request: Request, service: EmbedderService
+    ) -> str | None:
         if service.pending_count >= self.max_pending:
             return f"queue full ({self.max_pending} pending)"
         return None
@@ -91,7 +100,9 @@ class UtilizationGuard(AdmissionPolicy):
             )
         self.threshold = threshold
 
-    def decide(self, request: Request, service) -> str | None:
+    def decide(
+        self, request: Request, service: EmbedderService
+    ) -> str | None:
         utilization = service.utilization()
         if utilization >= self.threshold:
             return f"utilization {utilization:.2f} >= {self.threshold:.2f}"
@@ -125,7 +136,9 @@ class TokenBucket(AdmissionPolicy):
         self._tokens = self.burst
         self._last_slot: int | None = None
 
-    def decide(self, request: Request, service) -> str | None:
+    def decide(
+        self, request: Request, service: EmbedderService
+    ) -> str | None:
         slot = service.current_slot
         if self._last_slot is None:
             self._last_slot = slot

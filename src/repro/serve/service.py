@@ -30,6 +30,7 @@ from __future__ import annotations
 
 import time
 from collections import deque
+from typing import Any
 
 from repro.core.olive import Decision
 from repro.errors import SimulationError
@@ -59,7 +60,7 @@ class EmbedderService:
         admission_params: dict | None = None,
         max_pending: int | None = None,
         metrics_window: int = 512,
-        scenario=None,
+        scenario: Any = None,
     ) -> None:
         if not isinstance(session, SimulationSession):
             raise SimulationError(
@@ -108,7 +109,7 @@ class EmbedderService:
     # -- introspection -------------------------------------------------------
 
     @property
-    def algorithm(self):
+    def algorithm(self) -> Any:
         return self.session.algorithm
 
     @property
@@ -160,7 +161,7 @@ class EmbedderService:
         # Latency is measured from here: slot drains on the way to a
         # future arrival (departures, events, preloaded-trace work) are
         # simulated-time progress, not part of this offer's decision.
-        start = time.perf_counter()
+        start = time.perf_counter()  # repro-lint: allow[RPR003] decision-latency telemetry (MetricsStream p50/p99); never reaches results or goldens
         reason = self.admission.decide(request, self)
         if reason is not None:
             self.recent_shed.append((request.id, request.arrival, reason))
@@ -168,7 +169,8 @@ class EmbedderService:
             return Decision(request=request, accepted=False)
         decision = self.session.process(request)
         self.metrics.record_offer(
-            decision.accepted, time.perf_counter() - start
+            decision.accepted,
+            time.perf_counter() - start,  # repro-lint: allow[RPR003] decision-latency telemetry (MetricsStream p50/p99); never reaches results or goldens
         )
         return decision
 
@@ -245,7 +247,7 @@ class EmbedderService:
 
     @classmethod
     def restore(
-        cls, snapshot: SessionSnapshot, **service_kwargs
+        cls, snapshot: SessionSnapshot, **service_kwargs: Any
     ) -> "EmbedderService":
         """A new service over a session resumed from ``snapshot``."""
         return cls(SimulationSession.restore(snapshot), **service_kwargs)

@@ -19,6 +19,7 @@ traffic is *new* load, not a replay.
 from __future__ import annotations
 
 from collections.abc import Iterator
+from typing import Any
 
 import numpy as np
 
@@ -30,7 +31,7 @@ LIVE_ID_BASE = 10_000_000
 
 
 def poisson_offers(
-    scenario,
+    scenario: Any,
     slots: int,
     rng: np.random.Generator,
     rate_per_node: float | None = None,

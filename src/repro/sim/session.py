@@ -46,12 +46,17 @@ import copy
 import pickle
 import time
 from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Iterator
 
 import numpy as np
 
 from repro.core.olive import Decision
 from repro.errors import SimulationError
 from repro.workload.request import Request
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.scenarios.events import EventCursor, EventSchedule
+    from repro.sim.engine import SimulationResult
 
 
 @dataclass(frozen=True)
@@ -138,10 +143,10 @@ class SimulationSession:
 
     def __init__(
         self,
-        algorithm,
+        algorithm: Any,
         requests: list[Request] | tuple[Request, ...] = (),
         num_slots: int = 0,
-        events=None,
+        events: "EventSchedule | None" = None,
     ) -> None:
         if num_slots <= 0:
             raise SimulationError(
@@ -178,7 +183,7 @@ class SimulationSession:
                     f"event schedule needs slot {events.max_event_slot}, "
                     f"beyond the {num_slots}-slot horizon"
                 )
-            self.events = events
+            self.events: "EventSchedule | None" = events
         else:
             self.events = None
         self.requests = sorted(requests)
@@ -205,7 +210,7 @@ class SimulationSession:
         self._clock = 0
         self._slot_open = False
         self._is_batch = hasattr(algorithm, "run_slot")
-        self._event_cursor = (
+        self._event_cursor: "EventCursor | None" = (
             self.events.cursor() if self.events is not None else None
         )
 
@@ -326,7 +331,7 @@ class SimulationSession:
 
         algorithm = self.algorithm
         release = algorithm.release
-        start = time.perf_counter()
+        start = time.perf_counter()  # repro-lint: allow[RPR003] feeds SlotReport.runtime -> slots_per_second/requests_per_second, key-only in goldens
         for request in self._slot_departures:
             release(request)
         if self._event_cursor is not None:
@@ -334,7 +339,7 @@ class SimulationSession:
             if slot_events:
                 self._slot_events = len(slot_events)
                 dropped = algorithm.apply_events(
-                    t, slot_events, self.events.policy
+                    t, slot_events, self._event_cursor.schedule.policy
                 )
                 for request in dropped:
                     self._disruptions.append((request, t))
@@ -351,7 +356,7 @@ class SimulationSession:
                 append_decision(decision)
                 if decision.preempted:
                     preemptions.extend((r, t) for r in decision.preempted)
-        self._slot_runtime = time.perf_counter() - start
+        self._slot_runtime = time.perf_counter() - start  # repro-lint: allow[RPR003] feeds SlotReport.runtime -> slots_per_second/requests_per_second, key-only in goldens
 
     def process(self, request: Request) -> Decision:
         """Hand one mid-slot arrival to the algorithm, synchronously.
@@ -389,9 +394,9 @@ class SimulationSession:
                 self._departures_by_slot.setdefault(request.departure, []),
                 request,
             )
-        start = time.perf_counter()
+        start = time.perf_counter()  # repro-lint: allow[RPR003] feeds SlotReport.runtime -> slots_per_second/requests_per_second, key-only in goldens
         decision = self.algorithm.process(request)
-        self._slot_runtime += time.perf_counter() - start
+        self._slot_runtime += time.perf_counter() - start  # repro-lint: allow[RPR003] feeds SlotReport.runtime -> slots_per_second/requests_per_second, key-only in goldens
         self._decisions.append(decision)
         if decision.preempted:
             self._preemptions.extend((r, t) for r in decision.preempted)
@@ -407,9 +412,9 @@ class SimulationSession:
         t = self._clock
         if self._is_batch:
             arrivals = self._arrivals_by_slot.get(t, ())
-            start = time.perf_counter()
+            start = time.perf_counter()  # repro-lint: allow[RPR003] feeds SlotReport.runtime -> slots_per_second/requests_per_second, key-only in goldens
             slot_result = self.algorithm.run_slot(t, list(arrivals))
-            self._slot_runtime += time.perf_counter() - start
+            self._slot_runtime += time.perf_counter() - start  # repro-lint: allow[RPR003] feeds SlotReport.runtime -> slots_per_second/requests_per_second, key-only in goldens
             self._decisions.extend(slot_result.decisions)
             self._preemptions.extend((r, t) for r in slot_result.dropped)
         self._allocated[t] = self.algorithm.active_demand()
@@ -467,7 +472,7 @@ class SimulationSession:
         self.run_until(self.num_slots)
         return self.result()
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[SlotReport]:
         """Yield one :class:`SlotReport` per remaining slot."""
         while not self.is_done:
             yield self.step()

@@ -7,14 +7,21 @@ belong to one of three tiers (edge / transport / core) following the mobile
 access network architecture used in the evaluation.
 """
 
+from repro.substrate.analysis import (
+    TopologyReport,
+    analyze_topology,
+    bottleneck_links,
+    edge_uplink_capacity,
+    tier_summaries,
+)
+from repro.substrate.network import LinkAttrs, NodeAttrs, SubstrateNetwork
 from repro.substrate.tiers import (
-    Tier,
     TIER_LINK_CAPACITY,
     TIER_LINK_COST,
     TIER_MEAN_NODE_COST,
     TIER_NODE_CAPACITY,
+    Tier,
 )
-from repro.substrate.network import LinkAttrs, NodeAttrs, SubstrateNetwork
 from repro.substrate.topologies import (
     TOPOLOGY_BUILDERS,
     make_100n150e,
@@ -24,13 +31,6 @@ from repro.substrate.topologies import (
     make_tiered_topology,
     make_topology,
     split_gpu_datacenters,
-)
-from repro.substrate.analysis import (
-    TopologyReport,
-    analyze_topology,
-    bottleneck_links,
-    edge_uplink_capacity,
-    tier_summaries,
 )
 
 __all__ = [

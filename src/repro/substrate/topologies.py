@@ -226,7 +226,7 @@ def make_100n150e(seed: int = 47) -> SubstrateNetwork:
     """
     rng = make_rng(seed)
     num_nodes, num_links = 100, 150
-    for attempt in range(1000):
+    for _attempt in range(1000):
         pairs = _random_gnm(num_nodes, num_links, rng)
         if _connected(num_nodes, pairs):
             break
@@ -234,7 +234,7 @@ def make_100n150e(seed: int = 47) -> SubstrateNetwork:
         raise TopologyError("failed to sample a connected G(100, 150)")
 
     degree = [0] * num_nodes
-    for a, b in pairs:
+    for a, b in sorted(pairs):
         degree[a] += 1
         degree[b] += 1
     order = sorted(range(num_nodes), key=lambda v: (-degree[v], v))
@@ -251,7 +251,7 @@ def make_100n150e(seed: int = 47) -> SubstrateNetwork:
     for v in range(num_nodes):
         nodes[f"n{v}"] = _node_attrs(tier_by_index[v], rng)
     links: dict[LinkId, LinkAttrs] = {}
-    for a, b in pairs:
+    for a, b in sorted(pairs):
         links[link_id(f"n{a}", f"n{b}")] = _link_attrs(
             tier_by_index[a], tier_by_index[b]
         )
@@ -273,7 +273,7 @@ def _random_gnm(
 
 def _connected(num_nodes: int, pairs: set[tuple[int, int]]) -> bool:
     adjacency: list[list[int]] = [[] for _ in range(num_nodes)]
-    for a, b in pairs:
+    for a, b in sorted(pairs):
         adjacency[a].append(b)
         adjacency[b].append(a)
     seen = {0}
@@ -323,7 +323,7 @@ def _tiers_by_degree_rank(
     rest edge (ties broken by index for determinism).
     """
     degree = [0] * num_nodes
-    for a, b in pairs:
+    for a, b in sorted(pairs):
         degree[a] += 1
         degree[b] += 1
     order = sorted(range(num_nodes), key=lambda v: (-degree[v], v))

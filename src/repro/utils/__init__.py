@@ -1,13 +1,13 @@
 """Shared low-level utilities: seeding, filesystem roots, path helpers."""
 
-from repro.utils.rng import child_rng, make_rng, spawn_rngs
 from repro.utils.paths import (
     capacity_constrained_dijkstra,
     data_root,
     default_cache_root,
-    path_links,
     path_cost,
+    path_links,
 )
+from repro.utils.rng import child_rng, make_rng, spawn_rngs
 
 __all__ = [
     "make_rng",

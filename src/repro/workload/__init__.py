@@ -8,9 +8,17 @@ Markov-modulated Poisson process (bursty synthetic trace) or a CAIDA-like
 heavy-tailed source model.
 """
 
-from repro.workload.request import Request
+from repro.workload.adversarial import (
+    generate_capacity_probe_trace,
+    generate_ingress_hotspot_trace,
+    generate_pareto_burst_trace,
+    hotspot_probabilities,
+    pareto_burst_counts,
+)
 from repro.workload.arrivals import MMPPProcess, PoissonProcess
-from repro.workload.popularity import zipf_weights, assign_node_popularity
+from repro.workload.diurnal import diurnal_rates, generate_diurnal_trace
+from repro.workload.popularity import assign_node_popularity, zipf_weights
+from repro.workload.request import Request
 from repro.workload.trace import (
     Trace,
     TraceConfig,
@@ -18,14 +26,6 @@ from repro.workload.trace import (
     generate_caida_like_trace,
     generate_mmpp_trace,
     mean_application_footprint,
-)
-from repro.workload.diurnal import diurnal_rates, generate_diurnal_trace
-from repro.workload.adversarial import (
-    generate_capacity_probe_trace,
-    generate_ingress_hotspot_trace,
-    generate_pareto_burst_trace,
-    hotspot_probabilities,
-    pareto_burst_counts,
 )
 
 __all__ = [

@@ -16,7 +16,7 @@ from pathlib import Path
 import pytest
 from hypothesis import HealthCheck, settings
 
-from repro.apps.application import ROOT_ID, Application, VNF, VNFKind, VirtualLink
+from repro.apps.application import ROOT_ID, VNF, Application, VirtualLink, VNFKind
 from repro.experiments import cache as result_cache
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.scenario import build_scenario

@@ -1,0 +1,88 @@
+"""RPR001 corpus: set/frozenset iteration and unsorted listings.
+
+The first function is a minimal reconstruction of the real pre-PR-3
+``split_gpu_datacenters`` bug: the selected datacenters were collected
+into a ``set`` and iterated directly, so the node split order — and with
+it every GPU-scenario trace and result — depended on the process's hash
+seed. ``EXPECTED`` at the bottom names each flagged line for the corpus
+replay test.
+"""
+
+import glob
+import os
+
+
+def split_gpu_datacenters_pre_pr3(substrate, edge_pick):
+    """The bug as shipped: iterate the selection set in hash order."""
+    selected = set(substrate.core_nodes) | {
+        substrate.edge_nodes[i] for i in edge_pick
+    }
+    nodes = {}
+    for v in selected:  # BAD: split order follows the hash seed
+        nodes[f"{v}-gpu"] = substrate.nodes[v]
+    return nodes
+
+
+def split_gpu_datacenters_post_pr3(substrate, edge_pick):
+    """The fix as shipped: identical, plus sorted()."""
+    selected = set(substrate.core_nodes) | {
+        substrate.edge_nodes[i] for i in edge_pick
+    }
+    nodes = {}
+    for v in sorted(selected):  # OK: deterministic split order
+        nodes[f"{v}-gpu"] = substrate.nodes[v]
+    return nodes
+
+
+def materialize_in_order(pairs: set) -> list:
+    return list(pairs)  # BAD: list() captures hash order
+
+
+def comprehension_over_set(ids):
+    generic = set(ids)
+    return {i: "host" for i in generic}  # BAD: dict keeps insertion order
+
+
+def annotated_parameter(finished: set) -> tuple:
+    return tuple(x + 1 for x in finished)  # BAD: generator drains the set
+
+
+def unsorted_listing(path):
+    out = []
+    for name in os.listdir(path):  # BAD: platform/inode order
+        out.append(name)
+    out.extend(glob.glob("*.json"))  # BAD: glob order is fs-dependent
+    return out
+
+
+def sorted_listing(path):
+    return [name for name in sorted(os.listdir(path))]  # OK
+
+
+def order_free_consumers(pairs: set):
+    # OK: none of these depend on iteration order.
+    return len(pairs), min(pairs), max(pairs), sorted(pairs), any(pairs)
+
+
+def membership_only(finished: set, node) -> bool:
+    return node in finished  # OK: membership tests are order-free
+
+
+def list_iteration(items: list):
+    return [x for x in items]  # OK: lists are ordered
+
+
+def dict_iteration(table: dict):
+    # OK: dict preserves insertion order (deterministic since 3.7).
+    return [key for key in table]
+
+
+def set_to_set(ids):
+    # OK: a set comprehension's result is unordered anyway — rebuilding
+    # one unordered container from another introduces no new hazard.
+    return {i * 2 for i in set(ids)}
+
+
+EXPECTED = {
+    "RPR001": [21, 38, 43, 47, 52, 54],
+}

@@ -1,0 +1,45 @@
+"""RPR002 corpus: global-state RNG vs seeded generators."""
+
+import random
+from random import shuffle
+
+import numpy as np
+from numpy.random import default_rng
+
+
+def draw_demand_global():
+    return random.gauss(100.0, 15.0)  # BAD: process-global random state
+
+
+def shuffle_in_place(items):
+    shuffle(items)  # BAD: from-import of a random module function
+    return items
+
+
+def legacy_numpy_draws(n):
+    np.random.seed(42)  # BAD: reseeds the global RandomState
+    a = np.random.rand(n)  # BAD: legacy global API
+    b = np.random.randint(0, 10, size=n)  # BAD: legacy global API
+    return a, b
+
+
+def sanctioned_generator(seed: int):
+    rng = np.random.default_rng(seed)  # OK: explicit seeded Generator
+    alias = default_rng(seed)  # OK: same constructor, from-imported
+    return rng.integers(0, 10, size=4), alias.random()
+
+
+def sanctioned_spawning(seed: int):
+    seq = np.random.SeedSequence(seed)  # OK: explicit seed plumbing
+    return np.random.default_rng(seq)
+
+
+def unrelated_random_attribute(trace):
+    # OK: .random on a non-module object resolves to trace.random, and
+    # local names do not collide with the random module unless imported.
+    return trace.randomize()
+
+
+EXPECTED = {
+    "RPR002": [11, 15, 20, 21, 22],
+}

@@ -1,0 +1,45 @@
+"""RPR003 corpus: wall-clock reads outside the runtime-metrics whitelist."""
+
+import time
+from datetime import datetime
+from time import perf_counter
+
+
+def stamp_result(result):
+    result["generated_at"] = time.time()  # BAD: wall clock into a result
+    return result
+
+
+def measure_inline():
+    start = perf_counter()  # BAD: from-imported wall-clock read
+    return perf_counter() - start  # BAD: and again
+
+
+def label_run():
+    return datetime.now().isoformat()  # BAD: datetime wall clock
+
+
+class Metrics:
+    runtime = 2.5
+    num_slots = 10
+    num_requests = 400
+
+    @property
+    def slots_per_second(self):
+        # OK: the whitelisted runtime-metric context — goldens treat the
+        # value as key-only, so wall-clock variance never fails a diff.
+        elapsed = time.perf_counter() - self.runtime
+        return self.num_slots / elapsed if elapsed > 0 else 0.0
+
+    @property
+    def requests_per_second(self):
+        return self.num_requests / max(time.monotonic(), 1e-9)  # OK
+
+
+def suppressed_read():
+    return time.time()  # repro-lint: allow[RPR003] CLI banner timestamp, never recorded
+
+
+EXPECTED = {
+    "RPR003": [9, 14, 15, 19],
+}

@@ -1,0 +1,39 @@
+"""RPR005 corpus: float accumulation over unordered containers."""
+
+import math
+
+
+def total_demand_wrong(loads: set) -> float:
+    return sum(loads)  # BAD: float addition order follows hash order
+
+
+def total_via_generator(demands):
+    pending = set(demands)
+    return sum(d * 1.5 for d in pending)  # BAD: generator drains a set
+
+
+def total_demand_sorted(loads: set) -> float:
+    return sum(sorted(loads))  # OK: deterministic accumulation order
+
+
+def total_demand_fsum(loads: set) -> float:
+    return math.fsum(loads)  # OK: fsum is exact, hence order-independent
+
+
+def total_over_list(loads: list) -> float:
+    return sum(loads)  # OK: lists are ordered
+
+
+def total_over_dict_values(table: dict) -> float:
+    return sum(table.values())  # OK: dict order is insertion order
+
+
+def count_members(flags: set) -> int:
+    # A set of ints summed for a *count* is still flagged — the linter
+    # cannot see element types, and int-only sums are the rare case.
+    return sum(flags)  # BAD (deliberately): see docs/ANALYSIS.md
+
+
+EXPECTED = {
+    "RPR005": [7, 12, 34],
+}

@@ -1,0 +1,34 @@
+"""Suppression-mechanics corpus: honored, unused, and malformed allows."""
+
+import time
+
+
+def honored(flags: set):
+    return list(flags)  # repro-lint: allow[RPR001] order feeds an unordered set, proven safe
+
+
+def honored_multi_rule(flags: set):
+    return sum(flags), time.time()  # repro-lint: allow[RPR001,RPR003,RPR005] demo of a multi-rule allow
+
+
+def wrong_rule_id(flags: set):
+    return list(flags)  # repro-lint: allow[RPR002] wrong rule: the finding is RPR001, so both fire
+
+
+def unused():
+    return [1, 2, 3]  # repro-lint: allow[RPR001] nothing here iterates a set
+
+
+def missing_reason(flags: set):
+    return list(flags)  # repro-lint: allow[RPR001]
+
+
+def bad_rule_format(flags: set):
+    return list(flags)  # repro-lint: allow[RPR01] truncated rule id
+
+
+EXPECTED = {
+    "RPR001": [15, 23, 27],
+    "RPR901": [15, 19],
+    "RPR900": [23, 27],
+}

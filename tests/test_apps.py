@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.apps.application import ROOT_ID, Application, VNF, VNFKind, VirtualLink
+from repro.apps.application import ROOT_ID, VNF, Application, VirtualLink, VNFKind
 from repro.apps.catalog import (
     ACCELERATOR_SHRINK,
     SIZE_FLOOR,

@@ -4,7 +4,7 @@ import pytest
 
 from repro.apps.application import ROOT_ID, VNF, VNFKind
 from repro.apps.efficiency import GpuAwareEfficiency, UniformEfficiency
-from repro.core.embedding import Embedding, ElementLoads, compute_loads
+from repro.core.embedding import ElementLoads, Embedding, compute_loads
 from repro.core.residual import PlanResidual, ResidualState
 from repro.errors import SimulationError
 from repro.plan.pattern import ClassPlan, EmbeddingPattern, Plan

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.apps.application import ROOT_ID, Application, VNF, VNFKind, VirtualLink
+from repro.apps.application import ROOT_ID, VNF, Application, VirtualLink, VNFKind
 from repro.apps.efficiency import GpuAwareEfficiency, UniformEfficiency
 from repro.core.embedding import ElementLoads, compute_loads
 from repro.core.greedy import greedy_embed

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.apps.application import ROOT_ID, Application, VNF, VNFKind, VirtualLink
+from repro.apps.application import ROOT_ID, VNF, Application, VirtualLink, VNFKind
 from repro.plan.decompose import decompose_class
 
 

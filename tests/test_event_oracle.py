@@ -37,7 +37,9 @@ from repro.core.olive import OliveAlgorithm
 from repro.core.residual import ResidualState
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.scenario import build_scenario
+from repro.experiments.scenario import make_algorithm
 from repro.registry import event_profile_registry
+from repro.registry import algorithm_registry
 from repro.scenarios.events import (
     EventSchedule,
     LinkFailure,
@@ -45,8 +47,6 @@ from repro.scenarios.events import (
     NodeDrain,
     NodeRestore,
 )
-from repro.experiments.scenario import make_algorithm
-from repro.registry import algorithm_registry
 from repro.sim.engine import simulate
 from repro.sim.session import SimulationSession
 from tests.test_fastpath_equivalence import assert_results_identical

@@ -8,8 +8,8 @@ from repro.experiments.config import (
     PAPER_UTILIZATIONS,
     ExperimentConfig,
 )
-from repro.experiments.scenario import build_scenario, make_algorithm
 from repro.experiments.figures import run_single, summarize_run
+from repro.experiments.scenario import build_scenario, make_algorithm
 
 
 class TestConfig:

@@ -16,8 +16,8 @@ import numpy as np
 import pytest
 
 from repro.baselines.quickg import make_quickg
-from repro.core.greedy import GreedyContext, greedy_embed
 from repro.core import greedy_reference
+from repro.core.greedy import GreedyContext, greedy_embed
 from repro.core.olive import OliveAlgorithm
 from repro.core.residual import ResidualState
 from repro.experiments.config import ExperimentConfig

@@ -23,6 +23,7 @@ from repro.experiments.cache import (
     result_key,
 )
 from repro.experiments.config import ExperimentConfig
+from repro.sim import runner as runner_mod
 from repro.sim.runner import (
     ConfidenceInterval,
     ParallelRunner,
@@ -30,7 +31,6 @@ from repro.sim.runner import (
     repeat_runs,
     shutdown_pools,
 )
-from repro.sim import runner as runner_mod
 
 
 def deterministic_run(seed: int) -> dict[str, float]:

@@ -36,7 +36,7 @@ class TestFormulation:
         config = PlanVNEConfig(num_quantiles=4)
         model = build_plan_vne(substrate, apps, aggregates, config=config)
         compiled = model.program.compile()
-        for (c, p), var in model.quantile_vars.items():
+        for (_c, _p), var in model.quantile_vars.items():
             assert compiled.upper[var] == pytest.approx(0.25)
 
     def test_quantile_rejection_cost_increases_with_p(self, small_instance):

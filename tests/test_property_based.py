@@ -5,12 +5,12 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.apps.application import ROOT_ID, Application, VNF, VNFKind, VirtualLink
+from repro.apps.application import ROOT_ID, VNF, Application, VirtualLink, VNFKind
 from repro.core.embedding import ElementLoads
 from repro.core.residual import ResidualState
+from repro.errors import InfeasibleError, LPError
 from repro.lp.model import ConstraintSense, LinearProgram
 from repro.lp.solver import solve_lp
-from repro.errors import InfeasibleError, LPError
 from repro.plan.decompose import decompose_class
 from repro.stats.aggregate import class_demand_series
 from repro.stats.bootstrap import bootstrap_percentile

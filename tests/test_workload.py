@@ -6,9 +6,6 @@ import pytest
 from repro.apps.catalog import make_chain
 from repro.errors import WorkloadError
 from repro.utils.rng import make_rng
-from repro.workload.arrivals import MMPPProcess, PoissonProcess
-from repro.workload.popularity import assign_node_popularity, zipf_weights
-from repro.workload.request import Request
 from repro.workload.adversarial import (
     generate_capacity_probe_trace,
     generate_ingress_hotspot_trace,
@@ -16,6 +13,9 @@ from repro.workload.adversarial import (
     hotspot_probabilities,
     pareto_burst_counts,
 )
+from repro.workload.arrivals import MMPPProcess, PoissonProcess
+from repro.workload.popularity import assign_node_popularity, zipf_weights
+from repro.workload.request import Request
 from repro.workload.trace import (
     TraceConfig,
     demand_mean_for_utilization,
