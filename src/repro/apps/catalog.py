@@ -13,6 +13,8 @@ number of VNFs is uniform in {3, 4, 5} (Table III).
 
 from __future__ import annotations
 
+import functools
+
 import numpy as np
 
 from repro.apps.application import ROOT_ID, VNF, Application, VirtualLink, VNFKind
@@ -255,19 +257,19 @@ def draw_scale_mix(rng: np.random.Generator) -> list[Application]:
     return [make_chain(rng, num_vnfs=3, name="scale-chain")]
 
 
-def _register_uniform_mixes() -> None:
-    """Register the single-type mixes of the Fig. 9 / Fig. 10 studies."""
-    descriptions = {
-        "chain": "4 linear service chains",
-        "tree": "4 two-branch trees",
-        "accelerator": "4 accelerator chains (70 % downstream shrink)",
-        "gpu": "4 GPU chains (Fig. 10 placement constraint)",
-    }
-    for app_type, description in descriptions.items():
-        def make_mix(rng, _type=app_type):
-            return make_uniform_type_set(rng, _type)
+# The single-type mixes of the Fig. 9 / Fig. 10 studies. Registered at
+# module scope (not via a helper function) so every process that imports
+# the catalog — pool workers included — sees the identical registry
+# (RPS104: registration must stay in import scope).
+_UNIFORM_MIX_DESCRIPTIONS = {
+    "chain": "4 linear service chains",
+    "tree": "4 two-branch trees",
+    "accelerator": "4 accelerator chains (70 % downstream shrink)",
+    "gpu": "4 GPU chains (Fig. 10 placement constraint)",
+}
 
-        register_app_mix(app_type, description=description)(make_mix)
-
-
-_register_uniform_mixes()
+for _app_type, _description in _UNIFORM_MIX_DESCRIPTIONS.items():
+    register_app_mix(_app_type, description=_description)(
+        functools.partial(make_uniform_type_set, app_type=_app_type)
+    )
+del _app_type, _description

@@ -39,6 +39,7 @@ __all__ = [
     "LintError",
     "LintRule",
     "ScopedVisitor",
+    "lint_context",
     "lint_file",
     "lint_paths",
 ]
@@ -344,10 +345,21 @@ def _annotation_kind(annotation: ast.expr) -> str | None:
 
 
 class LintRule:
-    """Base class for one determinism rule."""
+    """Base class for one determinism rule.
+
+    Rules that need whole-project context (the interprocedural RPS
+    family) set ``requires_project = True`` and implement ``bind``;
+    :func:`lint_paths` builds one project call graph per run and hands
+    it to every such rule before any file is checked. Intra-file rules
+    ignore both hooks.
+    """
 
     rule_id: str = "RPR000"
     summary: str = ""
+    requires_project: bool = False
+
+    def bind(self, project: object) -> None:
+        """Receive the project call graph (project rules override)."""
 
     def check(self, context: FileContext) -> Iterator[Finding]:
         raise NotImplementedError
@@ -383,9 +395,20 @@ def lint_file(
 
     Suppressed findings are *returned* (marked ``suppressed=True``) so
     reports can show the inventory; meta-findings are appended for
-    malformed (RPR900) and unused (RPR901) ``allow`` comments.
+    malformed (RPR900) and unused (RPR901) ``allow`` comments. Project
+    rules used through this single-file API analyze the file as a
+    one-module project (the corpus fixtures rely on this).
     """
-    context = FileContext.parse(path, display_path)
+    return lint_context(FileContext.parse(path, display_path), rules)
+
+
+def lint_context(
+    context: FileContext,
+    rules: Iterable[LintRule],
+) -> list[Finding]:
+    """Run ``rules`` over an already-parsed file (see :func:`lint_file`)."""
+    rules = list(rules)
+    active_ids = {rule.rule_id for rule in rules}
     findings: list[Finding] = []
     for rule in rules:
         findings.extend(rule.check(context))
@@ -423,6 +446,14 @@ def lint_file(
                 )
             )
         elif line not in used_lines:
+            # A suppression is only judged "unused" when every rule it
+            # names ran — a --select subset must not condemn allows it
+            # could not evaluate (allow[*] is judged by any run).
+            judgeable = "*" in suppression.rules or set(
+                suppression.rules
+            ) <= active_ids
+            if not judgeable:
+                continue
             resolved.append(
                 Finding(
                     rule=UNUSED_SUPPRESSION,
@@ -456,10 +487,15 @@ def lint_paths(
     rules: Iterable[LintRule],
     root: Path | None = None,
 ) -> tuple[list[Finding], int]:
-    """Lint every ``.py`` under ``paths``; returns (findings, files_scanned)."""
+    """Lint every ``.py`` under ``paths``; returns (findings, files_scanned).
+
+    All files are parsed up front so that project rules (RPS family) can
+    be bound to one call graph spanning the whole run — interprocedural
+    facts like "reachable from a worker entrypoint" need every module,
+    not the one currently being checked.
+    """
     rules = list(rules)
-    findings: list[Finding] = []
-    count = 0
+    contexts: list[FileContext] = []
     for file_path in iter_python_files(paths):
         display = file_path
         if root is not None:
@@ -467,6 +503,16 @@ def lint_paths(
                 display = file_path.relative_to(root)
             except ValueError:
                 display = file_path
-        findings.extend(lint_file(file_path, rules, display.as_posix()))
-        count += 1
-    return findings, count
+        contexts.append(FileContext.parse(file_path, display.as_posix()))
+    project_rules = [rule for rule in rules if rule.requires_project]
+    if project_rules:
+        # Imported lazily: callgraph imports this module's FileContext.
+        from repro.devtools.callgraph import ProjectGraph
+
+        project = ProjectGraph.from_contexts(contexts)
+        for rule in project_rules:
+            rule.bind(project)
+    findings: list[Finding] = []
+    for context in contexts:
+        findings.extend(lint_context(context, rules))
+    return findings, len(contexts)

@@ -22,6 +22,10 @@ RPR005    ``sum()`` over unordered containers (float reassociation
 RPR006    mutation of frozen dataclasses / registry internals outside
           their owning module
 ========  ==============================================================
+
+The interprocedural RPS101–RPS104 family (worker/pickle boundary
+certification, built on :mod:`repro.devtools.callgraph`) lives in
+:mod:`repro.devtools.lint.parallel_rules` and joins ``ALL_RULES`` here.
 """
 
 from __future__ import annotations
@@ -36,6 +40,12 @@ from repro.devtools.lint.framework import (
     LintRule,
     ScopedVisitor,
 )
+from repro.devtools.lint.parallel_rules import (
+    RuleCallTimeRegistration,
+    RuleParallelUnpicklable,
+    RuleSnapshotStaleState,
+    RuleWorkerGlobalMutation,
+)
 
 __all__ = [
     "ALL_RULES",
@@ -45,6 +55,10 @@ __all__ = [
     "RuleCapacityWrite",
     "RuleUnorderedSum",
     "RuleFrozenMutation",
+    "RuleParallelUnpicklable",
+    "RuleWorkerGlobalMutation",
+    "RuleSnapshotStaleState",
+    "RuleCallTimeRegistration",
     "default_rules",
     "select_rules",
 ]
@@ -112,7 +126,11 @@ class _SetIterationVisitor(_CollectingVisitor):
         self._flag(node.iter, "a for loop")
         self.generic_visit(node)
 
-    def _visit_comp(self, node: ast.expr, kind: str) -> None:
+    def _visit_comp(
+        self,
+        node: ast.ListComp | ast.DictComp | ast.GeneratorExp,
+        kind: str,
+    ) -> None:
         for generator in node.generators:
             self._flag(generator.iter, kind)
         self.generic_visit(node)
@@ -421,6 +439,10 @@ ALL_RULES: tuple[type[LintRule], ...] = (
     RuleCapacityWrite,
     RuleUnorderedSum,
     RuleFrozenMutation,
+    RuleParallelUnpicklable,
+    RuleWorkerGlobalMutation,
+    RuleSnapshotStaleState,
+    RuleCallTimeRegistration,
 )
 
 
@@ -429,12 +451,30 @@ def default_rules() -> list[LintRule]:
 
 
 def select_rules(ids: Iterable[str]) -> list[LintRule]:
-    """Instantiate the subset of rules named by ``ids`` (e.g. RPR001)."""
+    """Instantiate the rules named by ``ids``.
+
+    A token is either an exact rule id (``RPR001``) or a family prefix
+    selecting every rule that starts with it (``RPS`` → RPS101–RPS104,
+    ``RPR`` → the intra-file determinism catalog).
+    """
     wanted = {rule_id.strip().upper() for rule_id in ids if rule_id.strip()}
     known = {rule.rule_id: rule for rule in ALL_RULES}
-    unknown = wanted - set(known)
+    selected: set[str] = set()
+    unknown: list[str] = []
+    for token in sorted(wanted):
+        if token in known:
+            selected.add(token)
+            continue
+        family = sorted(
+            rule_id for rule_id in known if rule_id.startswith(token)
+        )
+        if family:
+            selected.update(family)
+        else:
+            unknown.append(token)
     if unknown:
         raise LintError(
-            f"unknown rule id(s) {sorted(unknown)}; known: {sorted(known)}"
+            f"unknown rule id(s) {sorted(unknown)}; known: {sorted(known)} "
+            "(family prefixes like RPR or RPS select the whole family)"
         )
-    return [known[rule_id]() for rule_id in sorted(wanted)]
+    return [known[rule_id]() for rule_id in sorted(selected)]

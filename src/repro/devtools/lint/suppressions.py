@@ -13,6 +13,7 @@ from __future__ import annotations
 import io
 import re
 import tokenize
+from collections.abc import Iterator
 from dataclasses import dataclass
 
 __all__ = ["Suppression", "parse_suppressions"]
@@ -22,7 +23,9 @@ _MARKER = re.compile(r"#\s*repro-lint:\s*(?P<body>.*)$")
 _ALLOW = re.compile(
     r"allow\[(?P<rules>[A-Za-z0-9*,\s]+)\]\s*(?P<reason>.*)$"
 )
-_RULE_ID = re.compile(r"^RPR\d{3}$")
+# RPR = intra-file determinism rules, RPS = interprocedural
+# parallel-safety rules; both families share the suppression grammar.
+_RULE_ID = re.compile(r"^RP[RS]\d{3}$")
 
 
 @dataclass(frozen=True)
@@ -78,7 +81,7 @@ def parse_suppressions(source: str) -> dict[int, Suppression]:
     return suppressions
 
 
-def _iter_comments(source: str):
+def _iter_comments(source: str) -> Iterator[tuple[int, str]]:
     """Yield ``(line_number, comment_text)`` for every comment token.
 
     Tokenization errors (the file already parsed as AST, so these are

@@ -17,8 +17,9 @@ parallel workers sharing cores will distort them.
 
 from __future__ import annotations
 
+import multiprocessing
 import os
-from collections.abc import Callable, Sequence
+from collections.abc import Callable, Iterable, Sequence
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
@@ -54,7 +55,7 @@ class ConfidenceInterval:
 
 
 def confidence_interval(
-    values, confidence: float = 0.95
+    values: Iterable[float], confidence: float = 0.95
 ) -> ConfidenceInterval:
     """Student-t confidence interval of the sample mean."""
     array = np.asarray(list(values), dtype=float)
@@ -156,7 +157,7 @@ class ParallelRunner:
                 # the next repeat() gets a fresh pool. Shut the broken
                 # executor down too — surviving workers would otherwise
                 # linger as orphaned processes.
-                pool = _pools.pop(workers, None)
+                pool = _pools.pop(workers, None)  # repro-lint: allow[RPS102] parent-only by construction: _shared_pool (the sole pool creator) raises in workers, so this handler can only run in the parent that owns _pools
                 if pool is not None:
                     pool.shutdown(wait=False, cancel_futures=True)
                 raise
@@ -166,13 +167,37 @@ class ParallelRunner:
 #: Long-lived executors keyed by worker count — sweeps call ``repeat()``
 #: once per point, and re-spawning workers (which re-import numpy/scipy)
 #: for every point would dominate small runs. Reaped at interpreter exit.
+#:
+#: RPS102 contract: this table (and ``_default_runner`` below) is
+#: **parent-process-only** state. Every pool worker imports this module
+#: and owns a private copy; a worker mutating its copy would silently
+#: diverge from the parent. ``_require_parent_process`` makes that
+#: contract loud at runtime, and each deliberate write below carries an
+#: ``allow[RPS102]`` suppression citing it.
 _pools: dict[int, ProcessPoolExecutor] = {}
 
 
+def _require_parent_process(what: str) -> None:
+    """Fail loudly when pool/runner module state is touched in a worker.
+
+    ``_pools`` and ``_default_runner`` exist once per process; only the
+    parent's copies mean anything. Nesting pools inside workers would
+    also fork from an inconsistent executor state — refuse outright.
+    """
+    if multiprocessing.parent_process() is not None:
+        raise SimulationError(
+            f"{what} is parent-process-only: pool workers hold private "
+            "copies of repro.sim.runner's module state (_pools, "
+            "_default_runner), and mutating them inside a worker "
+            "silently diverges across processes"
+        )
+
+
 def _shared_pool(workers: int) -> ProcessPoolExecutor:
+    _require_parent_process("creating a shared process pool")
     pool = _pools.get(workers)
     if pool is None:
-        pool = _pools[workers] = ProcessPoolExecutor(max_workers=workers)
+        pool = _pools[workers] = ProcessPoolExecutor(max_workers=workers)  # repro-lint: allow[RPS102] guarded by _require_parent_process above — only the parent ever populates the executor table
     return pool
 
 
@@ -184,7 +209,7 @@ def shutdown_pools(wait: bool = True) -> int:
     """
     closed = 0
     while _pools:
-        _, pool = _pools.popitem()
+        _, pool = _pools.popitem()  # repro-lint: allow[RPS102] reaps the parent's executor table; a worker's copy is always empty (workers cannot create pools — _shared_pool raises there)
         pool.shutdown(wait=wait, cancel_futures=True)
         closed += 1
     return closed
@@ -201,10 +226,16 @@ def get_default_runner() -> ParallelRunner:
 
 
 def set_default_runner(runner: ParallelRunner) -> ParallelRunner:
-    """Replace the process-wide default runner; returns the previous one."""
+    """Replace the process-wide default runner; returns the previous one.
+
+    Parent-process-only (see ``_require_parent_process``): a worker
+    swapping its private copy would change nothing in the parent and
+    desynchronize job counts across the pool.
+    """
+    _require_parent_process("set_default_runner")
     global _default_runner
     previous = _default_runner
-    _default_runner = runner
+    _default_runner = runner  # repro-lint: allow[RPS102] guarded by _require_parent_process above — the CLI swaps the parent's default runner before any pool exists
     return previous
 
 

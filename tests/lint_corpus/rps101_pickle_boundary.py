@@ -1,0 +1,63 @@
+"""RPS101 corpus: unpicklable values crossing the pool/pickle boundary.
+
+Workers receive their callable by pickling, and ``SessionSnapshot``
+serializes whole object graphs — a lambda handed to ``pool.map``, or a
+thread lock stored on a snapshot-crossing instance, dies at submission
+(or worse, at the first checkpoint under a spawning start method).
+"""
+
+import threading
+from concurrent.futures import ProcessPoolExecutor
+
+
+def run_point(seed):
+    """Module-level function: the picklable way to cross the boundary."""
+    return {"metric": float(seed)}
+
+
+def fan_out_module_function(seeds):
+    with ProcessPoolExecutor() as pool:
+        return list(pool.map(run_point, seeds))  # OK: module-level callable
+
+
+def fan_out_lambda(seeds):
+    with ProcessPoolExecutor() as pool:
+        return list(pool.map(lambda s: {"m": float(s)}, seeds))  # BAD
+
+
+def fan_out_local_def(seeds):
+    def run(seed):  # a closure: pickle refuses local functions
+        return {"m": float(seed)}
+
+    with ProcessPoolExecutor() as pool:
+        return list(pool.map(run, seeds))  # BAD: local function submitted
+
+
+class StreamSession:
+    """Distilled session: ``snapshot()`` marks it pickle-crossing."""
+
+    def __init__(self, algorithm):
+        self.algorithm = algorithm
+        self.guard = threading.Lock()  # BAD: lock on a snapshot class
+        self.log = open("decisions.log", "a")  # BAD: open handle
+        self.key_fn = lambda record: record.id  # BAD: lambda attribute
+        self.pool = ProcessPoolExecutor(max_workers=2)  # BAD: executor
+        self.trace = []  # OK: a plain instance-owned list pickles fine
+
+    def snapshot(self):
+        import copy
+
+        return copy.deepcopy(self)
+
+
+class PlainHolder:
+    """Never crosses a boundary: the same attribute shapes are fine."""
+
+    def __init__(self):
+        self.guard = threading.Lock()  # OK: stays in this process
+
+
+#: line -> expected rule findings (the corpus replay asserts exactness).
+EXPECTED = {
+    "RPS101": [25, 33, 41, 42, 43, 44],
+}

@@ -1,0 +1,60 @@
+"""RPS102 corpus: per-process divergence of module-level mutable state.
+
+A distilled copy of the real ``repro.sim.runner`` hazard: the module
+drives a process pool *and* keeps module-level mutables (``_pools``, a
+``global``-rebound default). Every worker imports this module and owns a
+private copy of that state — a write made inside a worker (or inside
+anything a worker can reach) mutates only that worker's copy, so the
+processes silently diverge while every individual one looks consistent.
+"""
+
+from concurrent.futures import ProcessPoolExecutor
+
+_pools = {}
+_results_log = []
+_default_profile = "fast"
+SLOTS = 16  # immutable module constant: reads are always safe
+
+
+def _shared_pool(workers):
+    pool = _pools.get(workers)
+    if pool is None:
+        pool = _pools[workers] = ProcessPoolExecutor(max_workers=workers)  # BAD
+    return pool
+
+
+def run_point(seed):
+    """The submitted worker entrypoint."""
+    record(seed)
+    return {"metric": float(configure(seed) + SLOTS)}
+
+
+def record(seed):
+    _results_log.append(seed)  # BAD: worker-reachable write to a module list
+
+
+def configure(seed):
+    global _default_profile
+    _default_profile = f"profile-{seed}"  # BAD: global rebinding in a worker
+    return seed
+
+
+def fan_out(seeds):
+    return list(_shared_pool(4).map(run_point, seeds))
+
+
+def parent_only_reset():
+    _pools.clear()  # BAD: pool-driving module, workers own private copies
+
+
+def local_shadow(seeds):
+    _results_log = []  # OK: a local list shadowing the module name
+    for seed in seeds:
+        _results_log.append(seed)  # OK: mutates the local
+    return _results_log
+
+
+#: line -> expected rule findings (the corpus replay asserts exactness).
+EXPECTED = {
+    "RPS102": [22, 33, 38, 47],
+}

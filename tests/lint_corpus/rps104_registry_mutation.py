@@ -1,0 +1,47 @@
+"""RPS104 corpus: registry mutation outside module import scope.
+
+Worker processes and restored sessions replay module *imports*, not
+call sequences — a registration made inside a function exists only in
+the process that happened to call it, so name lookups diverge across
+the pool. The sanctioned path is the decorator form at module (or
+class) scope, which every importing process replays identically.
+"""
+
+from repro.registry import algorithm_registry, register_algorithm
+
+
+@register_algorithm("CORPUS-OK", description="import-time registration")
+def _make_ok(scenario):  # OK: module-scope decorator runs at import
+    return scenario
+
+
+def _factory(scenario):
+    return scenario
+
+
+# OK: a direct module-scope call still runs at import time.
+algorithm_registry.register("CORPUS-DIRECT", description="ok")(_factory)
+
+
+def register_lazily(name):
+    @register_algorithm(name, description="late")  # BAD: call-time
+    def _make(scenario):
+        return scenario
+
+    return _make
+
+
+def swap_entry(name, factory):
+    algorithm_registry.unregister(name)  # BAD: call-time unregister
+    algorithm_registry.register(name, description="swap")(factory)  # BAD
+
+
+class PluginLoader:
+    def load(self, name, factory):
+        register_algorithm(name, description="plugin")(factory)  # BAD
+
+
+#: line -> expected rule findings (the corpus replay asserts exactness).
+EXPECTED = {
+    "RPS104": [27, 35, 36, 41],
+}

@@ -48,7 +48,7 @@ from repro.scenarios.events import (
     NodeRestore,
 )
 from repro.sim.engine import simulate
-from repro.sim.session import SimulationSession
+from repro.sim.session import SessionSnapshot, SimulationSession
 from tests.test_fastpath_equivalence import assert_results_identical
 
 #: Every registered profile is part of the oracle contract; a new profile
@@ -295,6 +295,45 @@ def _check_step_and_restore(algorithm_name: str, profile: str) -> None:
     _assert_session_identical(resumed.result(), batch)
 
 
+def _check_pickle_round_trip(algorithm_name: str, profile: str) -> None:
+    """The RPS runtime cross-check: the static RPS101/RPS103 rules claim
+    nothing unpicklable or checkpoint-stale rides the session pickle —
+    this proves it dynamically. A snapshot serialized with
+    ``to_bytes()`` mid-run, revived with ``from_bytes()`` and resumed
+    must continue bit-identically to both the uninterrupted session and
+    the batch ``simulate()`` run.
+    """
+    scenario = _session_scenario(algorithm_name)
+    slots = scenario.config.online_slots
+    online = scenario.online_requests()
+    schedule = resolve_events(profile, scenario, 21, "preempt")
+
+    batch = simulate(
+        make_algorithm(algorithm_name, scenario), online, slots,
+        events=schedule,
+    )
+
+    session = SimulationSession(
+        make_algorithm(algorithm_name, scenario), online, slots,
+        events=schedule,
+    )
+    # A different deterministic split than the restore leg, so the two
+    # checks cover distinct checkpoint slots per combination.
+    split = random.Random(f"pickle:{algorithm_name}:{profile}").randrange(
+        1, slots - 1
+    )
+    session.run_until(split)
+    payload = session.snapshot().to_bytes()
+    session.run_until(slots)
+    _assert_session_identical(session.result(), batch)
+
+    revived = SessionSnapshot.from_bytes(payload)
+    resumed = SimulationSession.restore(revived)
+    assert resumed.clock == split
+    resumed.run_until(slots)
+    _assert_session_identical(resumed.result(), batch)
+
+
 class TestSessionOracle:
     """Streaming sessions against the batch engine, all algorithms."""
 
@@ -314,4 +353,25 @@ class TestSessionOracle:
     )
     def test_remaining_algorithms_step_and_restore(self, algorithm, profile):
         _check_step_and_restore(algorithm, profile)
+
+
+class TestSnapshotPickleRoundTrip:
+    """Serialized checkpoints, all algorithms × profiles, bit-identical."""
+
+    @pytest.mark.parametrize("profile", ALL_PROFILES)
+    @pytest.mark.parametrize(
+        "algorithm",
+        [name for name in ALL_ALGORITHMS if name in ("OLIVE", "QUICKG")],
+    )
+    def test_core_algorithms_pickle_round_trip(self, algorithm, profile):
+        _check_pickle_round_trip(algorithm, profile)
+
+    @pytest.mark.slow
+    @pytest.mark.parametrize("profile", ALL_PROFILES)
+    @pytest.mark.parametrize(
+        "algorithm",
+        [name for name in ALL_ALGORITHMS if name not in ("OLIVE", "QUICKG")],
+    )
+    def test_remaining_algorithms_pickle_round_trip(self, algorithm, profile):
+        _check_pickle_round_trip(algorithm, profile)
 

@@ -67,6 +67,27 @@ class TestSourceTreeIsClean:
         baseline = Baseline.load(REPO_ROOT / "lint-baseline.json")
         assert not baseline.counts
 
+    def test_src_is_rps_clean(self):
+        """The parallel-safety family alone certifies the shipped tree.
+
+        This is the pre-sharding gate from the RPS design: the worker /
+        pickle boundary audit must pass with zero unsuppressed findings
+        before any pool fan-out is trusted.
+        """
+        report = run_lint(
+            [REPO_ROOT / "src"],
+            rules=select_rules(["RPS"]),
+            root=REPO_ROOT,
+        )
+        messages = [f.format_human() for f in report.new]
+        assert report.new == [], "\n".join(messages)
+        rps_suppressed = [
+            f for f in report.suppressed if f.rule.startswith("RPS")
+        ]
+        assert rps_suppressed, "expected documented RPS102 allows in runner"
+        for finding in rps_suppressed:
+            assert "repro/sim/runner.py" in finding.path
+
 
 # -- corpus replay ------------------------------------------------------------
 
@@ -89,6 +110,10 @@ class TestCorpusReplay:
             assert any(f"rpr00{rule}" in name for name in names), (
                 f"no corpus file exercises RPR00{rule}"
             )
+        for rule in range(101, 105):
+            assert any(f"rps{rule}" in name for name in names), (
+                f"no corpus file exercises RPS{rule}"
+            )
 
     @pytest.mark.parametrize(
         "path", CORPUS_FILES, ids=[p.stem for p in CORPUS_FILES]
@@ -107,6 +132,59 @@ class TestCorpusReplay:
         by_context = {f.context for f in active(findings)}
         assert "split_gpu_datacenters_pre_pr3" in by_context
         assert "split_gpu_datacenters_post_pr3" not in by_context
+
+    def test_rps102_catches_the_distilled_pools_divergence(self):
+        """The motivating hazard: repro.sim.runner's module pool table."""
+        path = CORPUS_DIR / "rps102_worker_globals.py"
+        findings = lint_file(path, select_rules(["RPS102"]), path.name)
+        by_context = {f.context for f in active(findings)}
+        assert "_shared_pool" in by_context, "pool-table write missed"
+        assert "configure" in by_context, "worker-reachable rebind missed"
+        assert "local_shadow" not in by_context, "local shadowing is safe"
+
+
+# -- rule selection -----------------------------------------------------------
+
+
+class TestRuleSelection:
+    def test_family_prefix_selects_whole_family(self):
+        ids = sorted(rule.rule_id for rule in select_rules(["RPS"]))
+        assert ids == ["RPS101", "RPS102", "RPS103", "RPS104"]
+
+    def test_exact_id_still_works(self):
+        (rule,) = select_rules(["RPS102"])
+        assert rule.rule_id == "RPS102"
+
+    def test_prefix_and_exact_tokens_union(self):
+        ids = sorted(
+            rule.rule_id for rule in select_rules(["RPS", "RPR001"])
+        )
+        assert ids == ["RPR001", "RPS101", "RPS102", "RPS103", "RPS104"]
+
+    def test_unknown_token_raises(self):
+        with pytest.raises(LintError):
+            select_rules(["RPX"])
+
+    def test_subset_run_ignores_foreign_suppressions(self, tmp_path):
+        """A suppression for an unselected rule must not trip RPR901."""
+        path = tmp_path / "mod.py"
+        path.write_text(
+            "def f(s: set):\n"
+            "    return list(s)  # repro-lint: allow[RPR001] fixture safe here\n",
+            encoding="utf-8",
+        )
+        findings = lint_file(path, select_rules(["RPR003"]), "mod.py")
+        assert findings == []
+
+    def test_subset_run_still_flags_judgeable_unused(self, tmp_path):
+        path = tmp_path / "mod.py"
+        path.write_text(
+            "def f():\n"
+            "    return 1  # repro-lint: allow[RPR003] nothing clocked here\n",
+            encoding="utf-8",
+        )
+        findings = lint_file(path, select_rules(["RPR003"]), "mod.py")
+        assert [f.rule for f in findings] == ["RPR901"]
 
 
 # -- scope/import tracking ----------------------------------------------------
@@ -423,8 +501,22 @@ class TestCli:
     def test_list_rules(self, capsys):
         assert lint_main(["--list-rules"]) == 0
         out = capsys.readouterr().out
-        for rule_id in ("RPR001", "RPR002", "RPR003", "RPR004", "RPR005", "RPR006"):
+        for rule_id in (
+            "RPR001", "RPR002", "RPR003", "RPR004", "RPR005", "RPR006",
+            "RPS101", "RPS102", "RPS103", "RPS104",
+        ):
             assert rule_id in out
+
+    def test_select_family_prefix_from_cli(self, tmp_path, capsys):
+        (tmp_path / "late.py").write_text(
+            "from repro.registry import algorithm_registry\n"
+            "def late(name, factory):\n"
+            "    algorithm_registry.register(name)(factory)\n",
+            encoding="utf-8",
+        )
+        assert lint_main([str(tmp_path), "--select", "RPS"]) == 1
+        out = capsys.readouterr().out
+        assert "RPS104" in out and "RPR" not in out
 
     def test_write_then_check_baseline(self, tmp_path, capsys):
         (tmp_path / "bad.py").write_text(

@@ -26,8 +26,18 @@ PYPROJECT = REPO_ROOT / "pyproject.toml"
 
 #: The strict typed core, as module names (must mirror pyproject.toml).
 TYPED_CORE = (
+    "repro.devtools.callgraph",
+    "repro.devtools.lint",
+    "repro.devtools.lint.__main__",
+    "repro.devtools.lint.baseline",
+    "repro.devtools.lint.framework",
+    "repro.devtools.lint.parallel_rules",
+    "repro.devtools.lint.report",
+    "repro.devtools.lint.rules",
+    "repro.devtools.lint.suppressions",
     "repro.registry",
     "repro.scenarios.events",
+    "repro.sim.runner",
     "repro.sim.session",
     "repro.serve",
     "repro.serve.admission",
