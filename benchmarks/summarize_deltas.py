@@ -1,0 +1,134 @@
+"""Markdown summary of the hot-path / serve trajectory files.
+
+Prints the most recent ``BENCH_hotpath.json`` and ``BENCH_serve.json``
+rows — engine speedups over the frozen reference, drive-style overhead
+ratios — together with the delta against the previous comparable row
+(same fast/full mode), so a regression reads as a signed number instead
+of two JSON blobs. CI's bench-smoke step pipes the output into
+``$GITHUB_STEP_SUMMARY``; locally it is just a readable recap:
+
+    PYTHONPATH=src python benchmarks/summarize_deltas.py
+
+The script only reads the trajectory files the benchmarks append to; it
+never runs a simulation itself, so it is safe in any environment.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def _load(path: Path) -> list[dict]:
+    try:
+        rows = json.loads(path.read_text())
+    except (OSError, ValueError):
+        return []
+    return rows if isinstance(rows, list) else []
+
+
+def _latest_pair(rows: list[dict]) -> tuple[dict | None, dict | None]:
+    """(latest, previous-with-same-mode) — smoke rows never compare
+    against full-run rows; their workloads differ."""
+    if not rows:
+        return None, None
+    latest = rows[-1]
+    mode = latest.get("fast_mode")
+    for row in reversed(rows[:-1]):
+        if row.get("fast_mode") == mode:
+            return latest, row
+    return latest, None
+
+
+def _delta(current: float, previous: float | None) -> str:
+    if previous is None:
+        return "—"
+    return f"{current - previous:+.3f}"
+
+
+def _hotpath_lines(results_dir: Path) -> list[str]:
+    latest, previous = _latest_pair(_load(results_dir / "BENCH_hotpath.json"))
+    if latest is None:
+        return ["_no BENCH_hotpath.json rows yet_"]
+    mode = "smoke" if latest.get("fast_mode") else "full"
+    lines = [
+        f"### Hot path ({mode}, {latest.get('timestamp', 'undated')})",
+        "",
+        "| engine | speedup vs reference | Δ prev | batch rows | fallbacks |",
+        "|---|---|---|---|---|",
+    ]
+    for name, row in latest.get("engines", {}).items():
+        speedup = row.get("speedup_vs_reference", float("nan"))
+        prev_speedup = (
+            previous.get("engines", {}).get(name, {}).get(
+                "speedup_vs_reference"
+            )
+            if previous else None
+        )
+        greedy = row.get("greedy", {})
+        lines.append(
+            f"| {name} | {speedup:.3f}x | "
+            f"{_delta(speedup, prev_speedup)} | "
+            f"{greedy.get('batch_rows', '—')} | "
+            f"{greedy.get('batch_fallbacks', '—')} |"
+        )
+    embed = latest.get("embed_call")
+    if embed:
+        lines.append(
+            f"\nembed call: {embed['speedup']:.2f}x "
+            f"({embed['fast_us_per_call']:.1f}µs vs "
+            f"{embed['reference_us_per_call']:.1f}µs reference)"
+        )
+    return lines
+
+
+def _serve_lines(results_dir: Path) -> list[str]:
+    latest, previous = _latest_pair(_load(results_dir / "BENCH_serve.json"))
+    if latest is None:
+        return ["_no BENCH_serve.json rows yet_"]
+    mode = "smoke" if latest.get("fast_mode") else "full"
+    lines = [
+        f"### Serve overhead ({mode}, {latest.get('timestamp', 'undated')})",
+        "",
+        "| engine | stepped/batch | Δ prev | served/batch | Δ prev |",
+        "|---|---|---|---|---|",
+    ]
+    for name, row in latest.get("paths", {}).items():
+        stepped = row.get("stepped_over_batch", float("nan"))
+        served = row.get("served_over_batch", float("nan"))
+        prev_row = (
+            previous.get("paths", {}).get(name, {}) if previous else {}
+        )
+        lines.append(
+            f"| {name} | {stepped:.3f} | "
+            f"{_delta(stepped, prev_row.get('stepped_over_batch'))} | "
+            f"{served:.3f} | "
+            f"{_delta(served, prev_row.get('served_over_batch'))} |"
+        )
+    return lines
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--results-dir",
+        type=Path,
+        default=RESULTS_DIR,
+        help="directory holding the BENCH_*.json trajectory files",
+    )
+    args = parser.parse_args(argv)
+    sections = (
+        ["## Benchmark deltas", ""]
+        + _hotpath_lines(args.results_dir)
+        + [""]
+        + _serve_lines(args.results_dir)
+    )
+    print("\n".join(sections))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

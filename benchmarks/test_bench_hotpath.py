@@ -5,7 +5,9 @@ Measures three things on the fig16-style workload and records them to a
 regressions show up as a time series across commits):
 
 * engine throughput — slots/sec and requests/sec of whole simulations
-  through the incremental fast path (OLIVE and QUICKG);
+  through the incremental fast path (OLIVE and QUICKG), recorded as the
+  best of :data:`ENGINE_REPEATS` runs per engine (decisions are
+  identical across repeats; only scheduler noise varies);
 * engine speedup — the same simulations through the frozen pre-fast-path
   reference (:mod:`repro.core.greedy_reference`, scalar Dijkstra +
   O(nodes) scan per request), with **bit-identical decisions asserted**
@@ -39,12 +41,21 @@ from repro.sim.engine import simulate
 
 TRAJECTORY_FILE = RESULTS_DIR / "BENCH_hotpath.json"
 
-#: Conservative floors for full local runs — actual speedups are
-#: recorded, not asserted, beyond these. Smoke mode skips them entirely
-#: (wall-clock gating on shared CI runners is flaky); the decision-
-#: equivalence assertion always applies.
-MIN_ENGINE_SPEEDUP = {"OLIVE": 0.8, "QUICKG": 1.3}
+#: Floors for full local runs — actual speedups are recorded, not
+#: asserted, beyond these. Since the batched embed kernel + adaptive
+#: PathCache bypass landed, **no engine row may be slower than the
+#: reference** (the 1.0 floor applies to every recorded engine); OLIVE
+#: and QUICKG additionally keep their measured headroom. Smoke mode
+#: skips the wall-clock gates entirely (shared CI runners are flaky);
+#: the decision-equivalence assertion always applies.
+MIN_ENGINE_SPEEDUP = {"OLIVE": 1.0, "QUICKG": 1.3}
 MIN_EMBED_SPEEDUP = 2.0
+
+#: Whole-sim repetitions per engine (full runs): the recorded runtime is
+#: the best of these, a repeatable cost estimate rather than one noisy
+#: draw — a single simulation is ~0.3 s, where scheduler jitter alone
+#: can swamp the fast-vs-reference margin the 1.0 floor gates on.
+ENGINE_REPEATS = 3
 
 
 def _assert_identical(fast, reference, label):
@@ -106,29 +117,43 @@ def test_hotpath_microbenchmark(benchmark):
     online = scenario.online_requests()
     slots = config.online_slots
 
+    expected_per_slot = len(online) / max(slots, 1)
+
     def algorithms(fast):
         return {
             "OLIVE": OliveAlgorithm(
                 scenario.substrate, scenario.apps, scenario.plan,
                 efficiency=scenario.efficiency, use_fast_greedy=fast,
+                expected_offers_per_slot=expected_per_slot,
             ),
             "QUICKG": make_quickg(
                 scenario.substrate, scenario.apps, scenario.efficiency,
                 use_fast_greedy=fast,
+                expected_offers_per_slot=expected_per_slot,
             ),
         }
 
-    def run_fast_engines():
-        return {
-            name: simulate(alg, online, slots)
-            for name, alg in algorithms(True).items()
-        }
+    repeats = 1 if FAST else ENGINE_REPEATS
+    fast_algorithms = {}
 
-    fast_results = benchmark.pedantic(run_fast_engines, rounds=1, iterations=1)
-    reference_results = {
-        name: simulate(alg, online, slots)
-        for name, alg in algorithms(False).items()
-    }
+    def run_engines(fast, keep_algorithms=None):
+        """Best-of-``repeats`` simulation per engine (identical decisions
+        every repeat — only the runtime varies)."""
+        results = {}
+        for _ in range(repeats):
+            for name, alg in algorithms(fast).items():
+                result = simulate(alg, online, slots)
+                best = results.get(name)
+                if best is None or result.runtime_seconds < best.runtime_seconds:
+                    results[name] = result
+                    if keep_algorithms is not None:
+                        keep_algorithms[name] = alg
+        return results
+
+    fast_results = benchmark.pedantic(
+        run_engines, args=(True, fast_algorithms), rounds=1, iterations=1
+    )
+    reference_results = run_engines(False)
 
     entry = {
         "topology": config.topology,
@@ -136,6 +161,7 @@ def test_hotpath_microbenchmark(benchmark):
         "online_slots": slots,
         "num_requests": len(online),
         "fast_mode": FAST,
+        "engine_repeats": repeats,
         "engines": {},
     }
     lines = [
@@ -154,6 +180,10 @@ def test_hotpath_microbenchmark(benchmark):
             "runtime_seconds": fast.runtime_seconds,
             "reference_runtime_seconds": reference.runtime_seconds,
             "speedup_vs_reference": speedup,
+            # The adaptive-bypass calibration and batch-kernel telemetry
+            # for this exact run (payoff scale, mode switches, rows the
+            # vectorized kernel served vs scalar fallbacks).
+            "greedy": fast_algorithms[name].greedy_context.stats(),
         }
         lines.append(
             f"  {name:7} {fast.slots_per_second:8.0f} slots/s  "
@@ -183,8 +213,7 @@ def test_hotpath_microbenchmark(benchmark):
     # wall-clock floors only bind on full local runs where timings are
     # meaningful.
     if not FAST:
-        for name, floor in MIN_ENGINE_SPEEDUP.items():
-            assert entry["engines"][name]["speedup_vs_reference"] >= floor, (
-                name, entry["engines"][name]
-            )
+        for name, row in entry["engines"].items():
+            floor = max(MIN_ENGINE_SPEEDUP.get(name, 1.0), 1.0)
+            assert row["speedup_vs_reference"] >= floor, (name, row)
         assert embed["speedup"] >= MIN_EMBED_SPEEDUP, embed

@@ -11,8 +11,9 @@ appended per run):
 * **stepped** — the same session driven ``step()`` by ``step()`` from
   outside, measuring the per-slot lifecycle overhead;
 * **served** — the same arrivals pushed through
-  ``EmbedderService.offer()`` one request at a time (admission check +
-  per-offer metrics on top of the session).
+  ``EmbedderService.offer_many()`` one slot-run at a time (admission
+  check + per-offer metrics on top of the session, with the run routed
+  through the algorithm's vectorized batch kernel).
 
 Decisions are asserted bit-identical across all three on the exact
 benchmark workload, every run. Wall-clock gates (stepped ≤ 5% over
@@ -43,10 +44,16 @@ TRAJECTORY_FILE = RESULTS_DIR / "BENCH_serve.json"
 #: The design target recorded in every trajectory entry: stepping the
 #: session from outside should cost at most 5% over the batch run.
 TARGET_STEP_OVERHEAD = 1.05
-#: The assertion bound on the min-of-rounds ratio — looser than the
+#: The assertion bound on the best paired-round ratio — looser than the
 #: target because single-machine wall-clock noise at these run lengths
 #: is ~±10% (full local runs only; smoke mode never gates on time).
 MAX_STEP_OVERHEAD = 1.15
+#: Bound on ``served_over_batch``: offering a slot's arrivals through
+#: :meth:`EmbedderService.offer_many` must stay within 10% of the batch
+#: drive. The per-offer admission/metrics layer amortizes over the run
+#: and the embed work itself goes through the same batch kernel, so the
+#: serve path no longer pays a per-request penalty.
+MAX_SERVE_OVERHEAD = 1.10
 
 
 @contextlib.contextmanager
@@ -75,17 +82,19 @@ def _assert_identical(ours, batch, label):
     assert np.array_equal(ours.resource_cost, batch.resource_cost)
 
 
-def _make_algorithms(scenario, names):
+def _make_algorithms(scenario, names, expected_per_slot):
     algorithms = {}
     for name in names:
         if name == "OLIVE":
             algorithms[name] = OliveAlgorithm(
                 scenario.substrate, scenario.apps, scenario.plan,
                 efficiency=scenario.efficiency,
+                expected_offers_per_slot=expected_per_slot,
             )
         else:
             algorithms[name] = make_quickg(
-                scenario.substrate, scenario.apps, scenario.efficiency
+                scenario.substrate, scenario.apps, scenario.efficiency,
+                expected_offers_per_slot=expected_per_slot,
             )
     return algorithms
 
@@ -100,20 +109,28 @@ def test_serve_overhead(benchmark):
     online = scenario.online_requests()
     slots = config.online_slots
     names = ("QUICKG",) if FAST else ("OLIVE", "QUICKG")
-    rounds = 1 if FAST else 3
+    # Min-of-5: at these ~0.1 s run lengths single-draw scheduler noise
+    # is ±15-20%, larger than the overheads the gates bound; five
+    # rotated rounds make the recorded minima repeatable.
+    rounds = 1 if FAST else 5
+    expected_per_slot = len(online) / max(slots, 1)
     by_slot: dict[int, list] = {}
     for request in sorted(online):
         by_slot.setdefault(request.arrival, []).append(request)
 
     def run_batch(name):
-        algorithm = _make_algorithms(scenario, (name,))[name]
+        algorithm = _make_algorithms(
+            scenario, (name,), expected_per_slot
+        )[name]
         with _quiesced_gc():
             start = time.perf_counter()
             result = simulate(algorithm, online, slots)
             return result, time.perf_counter() - start
 
     def run_stepped(name):
-        algorithm = _make_algorithms(scenario, (name,))[name]
+        algorithm = _make_algorithms(
+            scenario, (name,), expected_per_slot
+        )[name]
         session = SimulationSession(algorithm, online, slots)
         with _quiesced_gc():
             start = time.perf_counter()
@@ -122,19 +139,22 @@ def test_serve_overhead(benchmark):
             return session.result(), time.perf_counter() - start
 
     def run_served(name):
-        algorithm = _make_algorithms(scenario, (name,))[name]
+        algorithm = _make_algorithms(
+            scenario, (name,), expected_per_slot
+        )[name]
         session = SimulationSession(algorithm, [], slots)
         service = EmbedderService(session)
         with _quiesced_gc():
             start = time.perf_counter()
             for slot in range(slots):
-                for request in by_slot.get(slot, ()):
-                    service.offer(request)
+                run = by_slot.get(slot)
+                if run:
+                    service.offer_many(run)
                 service.advance_to(slot + 1)
             return service.result(), time.perf_counter() - start
 
     def run_all():
-        """min-of-rounds walls per (path, algorithm); results kept once.
+        """Per-round walls per (path, algorithm); results kept once.
 
         The path order rotates per round so a drifting machine load
         (other processes ramping up mid-benchmark) cannot systematically
@@ -155,9 +175,7 @@ def test_serve_overhead(benchmark):
                 for path, runner in paths[shift:] + paths[:shift]:
                     results[path], wall = runner(name)
                     walls[path].append(wall)
-            measured[name] = (
-                results, {path: min(times) for path, times in walls.items()}
-            )
+            measured[name] = (results, walls)
         return measured
 
     measured = benchmark.pedantic(run_all, rounds=1, iterations=1)
@@ -179,13 +197,26 @@ def test_serve_overhead(benchmark):
     for name in names:
         results, walls = measured[name]
         batch_result = results["batch"]
-        batch_wall = walls["batch"]
-        stepped_wall = walls["stepped"]
-        served_wall = walls["served"]
+        batch_wall = min(walls["batch"])
+        stepped_wall = min(walls["stepped"])
+        served_wall = min(walls["served"])
         _assert_identical(results["stepped"], batch_result, f"stepped:{name}")
         _assert_identical(results["served"], batch_result, f"served:{name}")
-        step_overhead = stepped_wall / max(batch_wall, 1e-12)
-        serve_overhead = served_wall / max(batch_wall, 1e-12)
+        # Overhead ratios are paired per round (each round times all
+        # three paths back to back), then the best round wins: a machine
+        # that is uniformly slow for one whole round cancels out of that
+        # round's ratio, where a min-wall/min-wall quotient would pair a
+        # lucky batch draw with an unlucky served one. At these ~0.1 s
+        # run lengths between-round drift is several times the overhead
+        # being gated.
+        step_overhead = min(
+            s / max(b, 1e-12)
+            for s, b in zip(walls["stepped"], walls["batch"])
+        )
+        serve_overhead = min(
+            s / max(b, 1e-12)
+            for s, b in zip(walls["served"], walls["batch"])
+        )
         entry["paths"][name] = {
             "batch_wall_seconds": batch_wall,
             "stepped_wall_seconds": stepped_wall,
@@ -193,10 +224,10 @@ def test_serve_overhead(benchmark):
             "stepped_over_batch": step_overhead,
             "served_over_batch": serve_overhead,
             "per_step_overhead_us": 1e6
-            * (stepped_wall - batch_wall)
+            * (step_overhead - 1.0) * batch_wall
             / slots,
             "per_offer_overhead_us": 1e6
-            * (served_wall - batch_wall)
+            * (serve_overhead - 1.0) * batch_wall
             / max(len(online), 1),
         }
         lines.append(
@@ -220,4 +251,7 @@ def test_serve_overhead(benchmark):
         for name in names:
             assert entry["paths"][name]["stepped_over_batch"] <= (
                 MAX_STEP_OVERHEAD
+            ), (name, entry["paths"][name])
+            assert entry["paths"][name]["served_over_batch"] <= (
+                MAX_SERVE_OVERHEAD
             ), (name, entry["paths"][name])

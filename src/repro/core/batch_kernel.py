@@ -1,0 +1,430 @@
+"""Vectorized multi-request GREEDYEMBED: the batch kernel.
+
+One :class:`BatchPlan` covers one same-slot run of requests (a session
+slot's arrivals, or the offers a service micro-batched into one open
+slot). Instead of paying one Python distance replay plus one Python host
+scan per request, the kernel *speculates* cost rows for a whole chunk of
+the run at once — masked numpy reductions over the
+:class:`~repro.substrate.network.SubstrateIndex` arrays — and then
+*commits* strictly in arrival order, so every request still sees the
+residuals its predecessors left behind (sequential-equivalent
+semantics).
+
+Why speculation is safe
+-----------------------
+
+A speculative row is pure tree data: per-node route cost ``node_load ·
+node_cost + dist`` where ``dist`` is replayed along one memoized
+shortest-path tree (a :class:`~repro.core.greedy.PathCache` entry). The
+row depends on the *tree*, never on residuals, so it cannot go stale by
+itself. What can go stale is the tree choice: a predecessor's commit may
+flip a link across the feasibility threshold. Each commit therefore
+re-certifies the speculated entry, cheapest check first:
+
+1. **Monotone-damage fast path.** Between speculation and commit the
+   only residual mutations inside a batch window are predecessor
+   *allocations* (``ResidualState.link_rise_rev`` counts every event
+   that could raise a link residual; an unchanged counter proves
+   monotone non-increase). Under monotonicity an entry speculated with
+   an exact band ``lo < load ≤ hi`` stays exact as long as every link
+   dirtied since speculation still has residual ≥ ``load``: feasible
+   links cannot have crossed below the load (undirtied ones kept their
+   ≥ ``hi`` residual, dirtied ones are bounded by the running minimum),
+   and infeasible links can only have sunk further. The plan keeps one
+   shared running minimum per speculation chunk (each dirty-log entry
+   is visited once per plan), so the check is a pair of scalar
+   comparisons per commit.
+2. **Band revalidation.** When the fast path cannot certify (a release
+   or capacity restoration occurred, or the damage minimum undercuts
+   the load), the commit falls back to the cache's dirty-log /
+   band-re-anchor machinery (:meth:`PathCache.revalidate`). A band that
+   still covers the request's route load certifies that the entry's
+   feasibility vector equals the feasibility vector a fresh lookup
+   would compute **right now** — and capacity-constrained Dijkstra is a
+   deterministic function of (graph, source, feasibility vector), so
+   the scalar path would produce the *same tree* and hence bit-identical
+   distances.
+
+A band that no longer covers the load sends the request down the scalar
+path unchanged (a counted fallback, never a semantic change).
+Node-side feasibility is never speculated at all: each commit masks its
+row against the residual node array of *that moment*, so OLIVE
+preemptions that release capacity mid-run are handled exactly.
+
+Bit-identity of the replay (and hence with the frozen reference in
+:mod:`repro.core.greedy_reference`):
+
+* the kernel only covers band-sharing substrates, i.e. **uniform link
+  traversal costs** ``c``. Scalar replay along a tree accumulates
+  ``dist[v] = dist[parent] + load·c`` in settle order, so a node at tree
+  depth ``d`` receives exactly the ``d``-th partial sum of the constant
+  increment ``t = load·c``: ``s_0 = 0.0, s_d = s_{d-1} + t``. The kernel
+  materializes that partial-sum table with the same float64
+  multiply-then-add per element and *gathers* ``dist[r, v] =
+  s[r, depth(v)]`` — identical IEEE-754 operations, identical values,
+  one table shared by every tree in the chunk;
+* the cost row multiplies then adds exactly like the scalar scan's
+  ``node_load · node_cost[v] + dist[v]``;
+* ``np.argmin`` over the masked row returns the first index attaining
+  the minimum — the scalar scan's first-strict-minimum tie-break over
+  ascending node order (infeasible and unreached nodes sit at ``+inf``
+  and cannot tie with a finite minimum).
+
+Backends
+--------
+
+The numpy implementation is the mandatory backend *and* the oracle. When
+numba is importable (it is an optional accelerator, never a dependency)
+the chunk kernel is jit-compiled with identical operation order and no
+fastmath, so it reproduces the numpy values bit for bit; set
+``REPRO_BATCH_BACKEND=numpy`` to force the fallback (the CI no-numba leg
+pins the pure-numpy path), ``numba`` to require the compiled one.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.profile import AppProfile
+    from repro.workload.request import Request
+
+
+def _chunk_cost_numpy(loads, unit_cost, depths, node_loads, node_cost):
+    """Cost rows for one speculation chunk, vectorized.
+
+    ``depths[r, v]`` is node ``v``'s depth in request ``r``'s tree
+    (``-1`` = unreached). Row ``r`` equals the scalar path's
+    ``node_load·node_cost[v] + dist[v]`` element for element: the
+    partial-sum table performs the same ``previous + load·cost``
+    accumulation as the settle-order replay (see the module docstring),
+    and unreached nodes gather ``+inf`` from the sentinel column.
+    """
+    num_requests = loads.shape[0]
+    max_depth = int(depths.max(initial=0))
+    table = np.empty((num_requests, max_depth + 2))
+    table[:, 0] = 0.0
+    increment = loads * unit_cost
+    for d in range(1, max_depth + 1):
+        table[:, d] = table[:, d - 1] + increment
+    table[:, max_depth + 1] = np.inf
+    # depth -1 (unreached) indexes the last column: the inf sentinel.
+    distances = table[np.arange(num_requests)[:, None], depths]
+    return node_loads[:, None] * node_cost + distances
+
+
+#: Which chunk backend to use: ``auto`` (numba when importable, else
+#: numpy), ``numpy`` (force the fallback/oracle), ``numba`` (require the
+#: compiled kernel; import errors surface instead of being swallowed).
+_BACKEND = os.environ.get("REPRO_BATCH_BACKEND", "auto")
+
+_chunk_cost = _chunk_cost_numpy
+BACKEND_NAME = "numpy"
+
+if _BACKEND not in {"auto", "numpy", "numba"}:
+    raise ValueError(
+        f"REPRO_BATCH_BACKEND must be auto|numpy|numba (got {_BACKEND!r})"
+    )
+
+if _BACKEND in {"auto", "numba"}:
+    try:  # pragma: no cover - numba is absent in the reference environment
+        from numba import njit
+
+        @njit(cache=False)
+        def _chunk_cost_loop(loads, unit_cost, depths, node_loads,
+                             node_cost, out):  # noqa: ANN001
+            num_requests, num_nodes = depths.shape
+            max_depth = 0
+            for r in range(num_requests):
+                for v in range(num_nodes):
+                    if depths[r, v] > max_depth:
+                        max_depth = depths[r, v]
+            for r in range(num_requests):
+                # Same multiply-then-add sequence as the numpy oracle;
+                # njit without fastmath keeps IEEE semantics, so the jit
+                # output is bit-identical by construction.
+                increment = loads[r] * unit_cost
+                table = np.empty(max_depth + 1)
+                table[0] = 0.0
+                for d in range(1, max_depth + 1):
+                    table[d] = table[d - 1] + increment
+                for v in range(num_nodes):
+                    d = depths[r, v]
+                    dist = table[d] if d >= 0 else np.inf
+                    out[r, v] = node_loads[r] * node_cost[v] + dist
+            return out
+
+        def _chunk_cost_numba(loads, unit_cost, depths, node_loads,
+                              node_cost):
+            out = np.empty(depths.shape)
+            return _chunk_cost_loop(
+                np.asarray(loads, dtype=np.float64),
+                float(unit_cost),
+                np.asarray(depths, dtype=np.int64),
+                np.asarray(node_loads, dtype=np.float64),
+                np.asarray(node_cost, dtype=np.float64),
+                out,
+            )
+
+        _chunk_cost = _chunk_cost_numba
+        BACKEND_NAME = "numba"
+    except ImportError:
+        if _BACKEND == "numba":
+            raise
+
+
+class _BatchRecord:
+    """Per-request speculative state inside one :class:`BatchPlan`."""
+
+    __slots__ = (
+        "request", "profile", "source", "route_load", "node_load",
+        "entry", "row", "cell", "speculated", "processed",
+    )
+
+
+class _DamageCell:
+    """Shared damage bound for one speculation chunk.
+
+    ``min_residual`` is the running minimum over the current residuals
+    of every link dirtied since the chunk was speculated (``+inf`` while
+    nothing was dirtied, ``-inf`` once a dirty-log compaction made the
+    window unscannable); ``rise0`` snapshots
+    :attr:`~repro.core.residual.ResidualState.link_rise_rev` at
+    speculation time, so an unchanged counter proves residuals only
+    decreased within the window.
+    """
+
+    __slots__ = ("min_residual", "rise0")
+
+    def __init__(self, rise0: int) -> None:
+        self.min_residual = np.inf
+        self.rise0 = rise0
+
+
+class BatchPlan:
+    """Speculative cost rows for one same-slot run, committed in order.
+
+    Built lazily: indexing the run costs a few profile lookups per
+    request and happens on the first greedy embed of the window; runs
+    that never reach the greedy fallback (all planned/borrowed, or all
+    shed by admission) pay nothing. Speculation then proceeds in
+    arrival-order *chunks* of :attr:`CHUNK` requests — one
+    ``PathCache.lookup`` per distinct source per chunk, one vectorized
+    cost evaluation for the whole chunk — skipping requests the
+    algorithm already settled without the greedy path
+    (:meth:`mark_done`). A commit whose speculated tree no longer
+    revalidates takes the unbatched scalar path — a counted fallback,
+    never a semantic change and never a re-speculation stampede.
+    """
+
+    #: Requests speculated per chunk. Large enough to amortize the numpy
+    #: fixed costs, small enough that rows rarely outlive their bands.
+    CHUNK = 96
+
+    def __init__(self, ctx, pairs) -> None:
+        self._ctx = ctx
+        self._pairs = pairs
+        self._records: dict[int, _BatchRecord] | None = None
+        self._candidates: list[_BatchRecord] = []
+        self._cursor = 0
+        self._done: set[int] = set()
+        #: Dirty-log position (absolute revision) swept into the damage
+        #: cells so far; each log entry is visited once per plan.
+        self._scan_rev: int | None = None
+        self._cells: list[_DamageCell] = []
+        #: Commits served from a speculative row.
+        self.rows_used = 0
+        #: Commits that fell back to the scalar path.
+        self.fallbacks = 0
+        #: Speculation chunks evaluated.
+        self.chunks = 0
+
+    def mark_done(self, request: "Request") -> None:
+        """Note that ``request`` was settled (by any path).
+
+        Future speculation chunks skip it; the owning algorithm calls
+        this after each commit so planned/borrowed/rejected requests
+        never consume speculation effort.
+        """
+        self._done.add(request.id)
+
+    def _index(self) -> None:
+        """Classify the run: which requests the kernel can cover.
+
+        Covered: single-group applications with node-independent η (the
+        scalar-score fast case) on a band-sharing substrate. Everything
+        else (two-group GPU apps, per-node η, heterogeneous link costs)
+        keeps the scalar path — exactly the cases it already handles.
+        """
+        ctx = self._ctx
+        records: dict[int, _BatchRecord] = {}
+        candidates: list[_BatchRecord] = []
+        if ctx.paths.band_sharing and ctx.index.link_cost_list:
+            node_index = ctx.index.node_index
+            for request, app in self._pairs:
+                profile = ctx.profiles.get(app)
+                if len(profile.groups) != 1:
+                    continue
+                node_load = profile.group_load("all", request.demand)
+                if not isinstance(node_load, float):
+                    continue
+                record = _BatchRecord()
+                record.request = request
+                record.profile = profile
+                record.source = node_index[request.ingress]
+                record.route_load = (
+                    request.demand * profile.root_link_size_sum
+                )
+                record.node_load = node_load
+                record.entry = None
+                record.row = None
+                record.cell = None
+                record.speculated = False
+                record.processed = False
+                records[request.id] = record
+                candidates.append(record)
+        self._records = records
+        self._candidates = candidates
+
+    def _advance_damage(self) -> None:
+        """Sweep new dirty-log entries into every active damage cell.
+
+        Reads each dirtied link's *current* residual — at most equal to
+        its value when dirtied while residuals are monotone (the only
+        regime in which cells are consulted), so the running minimum is
+        conservative. A compaction that drops unscanned entries poisons
+        the cells (``-inf``): their fast path then simply never fires.
+        """
+        residual = self._ctx.residual
+        log = residual.link_dirty_log
+        base = residual.link_dirty_base
+        rev = base + len(log)
+        scan = self._scan_rev
+        self._scan_rev = rev
+        if scan is None or scan == rev or not self._cells:
+            return
+        if scan < base:
+            for cell in self._cells:
+                cell.min_residual = -np.inf
+            return
+        link_residual = residual.link_residual
+        low = np.inf
+        for position in log[scan - base:]:
+            value = link_residual[position]
+            if value < low:
+                low = value
+        for cell in self._cells:
+            if low < cell.min_residual:
+                cell.min_residual = low
+
+    def _speculate_chunk(self) -> None:
+        """Build cost rows for the next chunk of unsettled requests.
+
+        One banded lookup per distinct source; same-source requests
+        whose loads the fresh band covers share the entry without
+        touching the cache again (band-covered ⟹ identical feasibility
+        vector ⟹ identical deterministic tree). A load outside the
+        shared band gets its own lookup — a second tree for the same
+        source — so every indexed record speculates a row.
+        """
+        chunk: list[_BatchRecord] = []
+        candidates = self._candidates
+        done = self._done
+        while self._cursor < len(candidates) and len(chunk) < self.CHUNK:
+            record = candidates[self._cursor]
+            self._cursor += 1
+            record.speculated = True
+            if record.request.id in done:
+                record.processed = True
+                continue
+            chunk.append(record)
+        if not chunk:
+            return
+        ctx = self._ctx
+        paths = ctx.paths
+        # Bring the damage sweep up to the present *before* anchoring the
+        # new cell: dirt from predecessors' commits belongs to the older
+        # cells, and the lookups below never mutate residuals.
+        self._advance_damage()
+        cell = _DamageCell(ctx.residual.link_rise_rev)
+        self._cells.append(cell)
+        by_source: dict[int, object] = {}
+        for record in chunk:
+            entry = by_source.get(record.source)
+            if entry is None or not (
+                entry.lo < record.route_load <= entry.hi
+            ):
+                entry = paths.lookup(record.source, record.route_load)
+                by_source[record.source] = entry
+            record.entry = entry
+            record.cell = cell
+        loads = np.array([record.route_load for record in chunk])
+        node_loads = np.array([record.node_load for record in chunk])
+        depths = np.vstack([record.entry.depth for record in chunk])
+        cost = _chunk_cost(
+            loads,
+            ctx.index.link_cost_list[0],
+            depths,
+            node_loads,
+            ctx.index.node_cost,
+        )
+        for i, record in enumerate(chunk):
+            record.row = cost[i]
+        self.chunks += 1
+
+    def select_host(self, request: "Request", profile: "AppProfile"):
+        """Vectorized host pick for one batched request.
+
+        Returns ``(tree, host_idx)``, with ``host_idx == -1`` meaning "no
+        feasible host" — an exact outcome identical to the scalar scan's
+        — or ``None`` when this request is not covered (not in the run,
+        migrated since indexing, speculated row no longer revalidates):
+        the caller then takes the scalar path unchanged.
+        """
+        if self._records is None:
+            self._index()
+        record = self._records.get(request.id)
+        if (
+            record is None
+            or record.request is not request
+            or record.profile is not profile
+            or record.processed
+        ):
+            return None
+        while not record.speculated:
+            self._speculate_chunk()
+        record.processed = True
+        if record.row is None:
+            self.fallbacks += 1
+            return None
+        ctx = self._ctx
+        # Commit-time re-certification, cheapest check first: under
+        # monotone residuals (rise counter unchanged) a damage minimum
+        # that stays at or above the route load proves the speculated
+        # band still covers it; otherwise absorb the dirty-log suffix
+        # into the entry's band (re-anchoring exactly if needed). Either
+        # certificate means the entry equals the tree a scalar lookup
+        # would return right now.
+        self._advance_damage()
+        cell = record.cell
+        if not (
+            cell.rise0 == ctx.residual.link_rise_rev
+            and record.route_load <= cell.min_residual
+        ) and not ctx.paths.revalidate(record.entry, record.route_load):
+            self.fallbacks += 1
+            return None
+        # Exact node-side feasibility at THIS commit (predecessors'
+        # allocations and preemption releases included): mask the row
+        # against the current residual node array and take the first
+        # minimum — the scalar scan's tie-break over ascending nodes.
+        # The row is consumed exactly once, so masking in place is safe.
+        row = record.row
+        row[record.node_load > ctx.residual.node_array()] = np.inf
+        host_idx = int(np.argmin(row))
+        if row[host_idx] == np.inf:
+            host_idx = -1
+        self.rows_used += 1
+        return record.entry, host_idx

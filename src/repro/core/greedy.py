@@ -49,6 +49,7 @@ import numpy as np
 
 from repro.apps.application import ROOT_ID, Application
 from repro.apps.efficiency import EfficiencyModel
+from repro.core.batch_kernel import BACKEND_NAME, BatchPlan
 from repro.core.embedding import ElementLoads, Embedding, compute_loads
 from repro.core.profile import AppProfile, AppProfileCache
 from repro.core.residual import ResidualState
@@ -74,7 +75,7 @@ class _TreeEntry:
     __slots__ = (
         "source", "feasible", "lo", "hi", "cursor",
         "order", "parents", "pcosts", "parent_node", "parent_link",
-        "scan_nodes",
+        "scan_nodes", "depth",
     )
 
     def __init__(self, source, feasible, order, parent_node, parent_link,
@@ -96,6 +97,13 @@ class _TreeEntry:
         #: scan must visit nodes in substrate insertion order so ties
         #: break exactly like the reference scan.
         self.scan_nodes = sorted(order)
+        # Per-node tree depth (-1 = unreached) for the batch kernel's
+        # partial-sum replay; settle order guarantees parents first.
+        depth = [-1] * len(parent_node)
+        depth[source] = 0
+        for v in order[1:]:
+            depth[v] = depth[parent_node[v]] + 1
+        self.depth = np.array(depth, dtype=np.intp)
 
     def reset_band(self, link_residual: np.ndarray, cursor: int) -> None:
         """Recompute the exact feasibility band from current residuals.
@@ -259,6 +267,155 @@ class PathCache:
             bucket.pop(0)
         return entry
 
+    def revalidate(self, entry: _TreeEntry, load: float) -> bool:
+        """Whether ``entry`` is still exact for ``load`` right now.
+
+        The batch kernel's commit-time staleness check: the same
+        dirty-log absorption / exact band re-anchor a lookup would run,
+        restricted to this one entry (no bucket scan, no LRU motion, no
+        fresh Dijkstra). ``True`` certifies that the entry's feasibility
+        vector equals the current one at ``load`` — deterministic
+        Dijkstra then guarantees a scalar lookup would return the
+        bit-identical tree. ``False`` sends the caller down the scalar
+        path. Only meaningful on band-sharing substrates (the kernel's
+        precondition).
+        """
+        residual = self.residual
+        log = residual.link_dirty_log
+        base = residual.link_dirty_base
+        rev = base + len(log)
+        if entry.cursor >= base and rev - entry.cursor <= self.MAX_DELTA:
+            if entry.cursor != rev:
+                entry.absorb_dirty(
+                    residual.link_residual, log[entry.cursor - base:], rev
+                )
+            if entry.lo < load <= entry.hi:
+                return True
+        # The conservative band may have over-tightened (or the entry sat
+        # past the delta budget); re-anchor exactly before deciding.
+        entry.reset_band(residual.link_array(), rev)
+        return entry.lo < load <= entry.hi
+
+
+class _DirectTree:
+    """A throwaway shortest-path tree from one direct Dijkstra run.
+
+    The bypass path's stand-in for :class:`_TreeEntry`: same
+    ``scan_nodes`` order and the same path reconstruction, but no band
+    state and no replay machinery — distances come straight from the
+    Dijkstra that built it.
+    """
+
+    __slots__ = ("source", "parent_node", "parent_link", "scan_nodes")
+
+    def __init__(self, source, order, parent_node, parent_link):
+        self.source = source
+        self.parent_node = parent_node
+        self.parent_link = parent_link
+        self.scan_nodes = sorted(order)
+
+    def path_to(self, target: int, link_ids) -> tuple[tuple, list[int]]:
+        """The tree path source→target: (LinkId tuple, link positions)."""
+        links = []
+        positions = []
+        node = target
+        parent_node = self.parent_node
+        parent_link = self.parent_link
+        while node != self.source:
+            position = parent_link[node]
+            positions.append(position)
+            links.append(link_ids[position])
+            node = parent_node[node]
+        links.reverse()
+        positions.reverse()
+        return tuple(links), positions
+
+
+class _BypassController:
+    """Deterministic banded-vs-direct arbitration for scalar routes.
+
+    The band cache pays off when trees are reused before residual churn
+    invalidates their bands; below that scale its maintenance (dirty-log
+    absorption, re-anchors, LRU bookkeeping) costs more than the fresh
+    Dijkstra it avoids — the measured 0.89× regression at small λ. The
+    controller is **counter-based and deterministic** (no wall clock, no
+    randomness — RPR003-clean): identical request streams drive
+    identical mode sequences, and since the banded and direct routes
+    produce the identical shortest-path tree, the mode never influences
+    decisions — only speed.
+
+    States (``cache_mode="adaptive"``): *banded* counts band hits over a
+    :attr:`PROBE`-lookup window and drops to *direct* when the hit rate
+    falls below :attr:`MIN_HIT_RATE`; *direct* holds for :attr:`HOLD`
+    lookups, then re-probes (so a workload that grows past the payoff
+    scale gets the cache back). The initial state is calibrated from
+    topology size × expected arrival rate when the caller provides the
+    rate: a payoff scale (expected offers per slot × nodes) below
+    :attr:`PAYOFF_FLOOR` starts direct. ``cache_mode="banded"`` /
+    ``"direct"`` pin the state (the differential tests drive both).
+    """
+
+    PROBE = 64
+    HOLD = 512
+    MIN_HIT_RATE = 0.5
+    PAYOFF_FLOOR = 256.0
+
+    __slots__ = (
+        "pinned", "banded", "payoff_scale",
+        "window_lookups", "window_hits", "hold_remaining", "switches",
+    )
+
+    def __init__(self, cache_mode: str, payoff_scale: float | None) -> None:
+        if cache_mode not in ("adaptive", "banded", "direct"):
+            raise ValueError(
+                "cache_mode must be adaptive|banded|direct "
+                f"(got {cache_mode!r})"
+            )
+        self.pinned = cache_mode != "adaptive"
+        self.payoff_scale = payoff_scale
+        start_direct = cache_mode == "direct" or (
+            cache_mode == "adaptive"
+            and payoff_scale is not None
+            and payoff_scale < self.PAYOFF_FLOOR
+        )
+        self.banded = not start_direct
+        self.window_lookups = 0
+        self.window_hits = 0
+        self.hold_remaining = self.HOLD if start_direct else 0
+        self.switches = 0
+
+    def use_bands(self) -> bool:
+        """Route the next scalar lookup through the band cache?"""
+        if self.banded:
+            return True
+        if not self.pinned:
+            self.hold_remaining -= 1
+            if self.hold_remaining <= 0:
+                self.banded = True
+                self.window_lookups = 0
+                self.window_hits = 0
+                self.switches += 1
+        return False
+
+    def observe(self, hit: bool) -> None:
+        """Feed one banded lookup's outcome into the probe window."""
+        if self.pinned or not self.banded:
+            return
+        self.window_lookups += 1
+        if hit:
+            self.window_hits += 1
+        if self.window_lookups >= self.PROBE:
+            if self.window_hits < self.MIN_HIT_RATE * self.window_lookups:
+                self.banded = False
+                self.hold_remaining = self.HOLD
+                self.switches += 1
+            self.window_lookups = 0
+            self.window_hits = 0
+
+    @property
+    def mode(self) -> str:
+        return "banded" if self.banded else "direct"
+
 
 class GreedyContext:
     """Per-algorithm state of the incremental GREEDYEMBED fast path.
@@ -268,6 +425,19 @@ class GreedyContext:
     its variants construct one next to their
     :class:`~repro.core.residual.ResidualState` and route every greedy
     fallback through :meth:`embed`.
+
+    ``cache_mode`` picks how scalar embeds route shortest-path queries:
+    ``"adaptive"`` (default) lets :class:`_BypassController` choose
+    between the band cache and a direct Dijkstra, ``"banded"`` /
+    ``"direct"`` pin one route. ``expected_offers_per_slot`` seeds the
+    controller's payoff calibration. Neither affects decisions — both
+    routes build the identical deterministic tree.
+
+    :meth:`begin_batch` / :meth:`end_batch` open a speculative window
+    over one same-slot run of requests; :meth:`embed` calls inside the
+    window consult the :class:`~repro.core.batch_kernel.BatchPlan`
+    first and fall back to the scalar path for anything it does not
+    cover.
     """
 
     def __init__(
@@ -275,6 +445,8 @@ class GreedyContext:
         substrate: SubstrateNetwork,
         efficiency: EfficiencyModel,
         residual: ResidualState,
+        cache_mode: str = "adaptive",
+        expected_offers_per_slot: float | None = None,
     ) -> None:
         self.substrate = substrate
         self.efficiency = efficiency
@@ -282,6 +454,121 @@ class GreedyContext:
         self.index = residual.index
         self.profiles = AppProfileCache(substrate, efficiency)
         self.paths = PathCache(self.index, residual)
+        payoff_scale = (
+            expected_offers_per_slot * self.index.num_nodes
+            if expected_offers_per_slot is not None
+            else None
+        )
+        self.bypass = _BypassController(cache_mode, payoff_scale)
+        self._batch: BatchPlan | None = None
+        self._window_open = False
+        self._window_embeds = 0
+        self._window_size = 0
+        #: Greedy-embed share of the previous batch window — the signal
+        #: that decides whether the next window speculates at all.
+        #: Optimistic start: the first window probes the kernel.
+        self.batch_density = 1.0
+        self.direct_routes = 0
+        self.batch_rows = 0
+        self.batch_fallbacks = 0
+        self.batch_chunks = 0
+
+    #: Minimum greedy-embed share of a window for speculation to pay.
+    #: Plan-heavy OLIVE windows (most requests settled by planned
+    #: allocations) fall below this and skip the kernel — speculating
+    #: rows nobody consumes is the one way the kernel could lose to the
+    #: scalar path. Density is measured per window from actual embed
+    #: calls, so a plan that exhausts mid-run re-enables batching.
+    MIN_BATCH_DENSITY = 0.25
+
+    # -- batch window --------------------------------------------------------
+
+    def begin_batch(self, pairs) -> "BatchPlan | None":
+        """Open a speculative batch window over ``(request, app)`` pairs.
+
+        The window covers one same-slot run; commits still happen one
+        request at a time through :meth:`embed`, in call order, against
+        live residuals — see :mod:`repro.core.batch_kernel`. Returns the
+        :class:`~repro.core.batch_kernel.BatchPlan` (so the caller can
+        :meth:`~repro.core.batch_kernel.BatchPlan.mark_done` settled
+        requests), or ``None`` when the previous window's greedy density
+        was too low for speculation to pay — the window still measures
+        density so batching can re-engage.
+        """
+        if self._window_open:
+            raise ValueError("a batch window is already open")
+        self._window_open = True
+        self._window_embeds = 0
+        self._window_size = len(pairs)
+        if (
+            self.paths.band_sharing
+            and self.batch_density >= self.MIN_BATCH_DENSITY
+        ):
+            self._batch = BatchPlan(self, pairs)
+        return self._batch
+
+    def end_batch(self) -> None:
+        """Close the batch window and fold its counters into the stats."""
+        if not self._window_open:
+            return
+        self._window_open = False
+        if self._window_size:
+            self.batch_density = self._window_embeds / self._window_size
+        batch = self._batch
+        if batch is None:
+            return
+        self._batch = None
+        self.batch_rows += batch.rows_used
+        self.batch_fallbacks += batch.fallbacks
+        self.batch_chunks += batch.chunks
+
+    # -- routing -------------------------------------------------------------
+
+    def _route(self, source: int, load: float):
+        """``(tree, distances)`` for one scalar shortest-path query.
+
+        Banded route: cached tree + exact replay. Direct route: one
+        fresh capacity-constrained Dijkstra whose returned distances ARE
+        the values the replay reproduces (same relaxations, same
+        arithmetic), with zero band maintenance. Both routes run the
+        identical deterministic tree construction under the identical
+        feasibility vector, so every downstream decision is bit-equal
+        whichever is taken.
+        """
+        paths = self.paths
+        if paths.band_sharing and self.bypass.use_bands():
+            before = paths.hits
+            tree = paths.lookup(source, load)
+            self.bypass.observe(paths.hits != before)
+            return tree, tree.distances(self.index.num_nodes, load)
+        self.direct_routes += 1
+        index = self.index
+        feasible = self.residual.link_array() >= load
+        order, parent_node, parent_link, dist = indexed_capacity_dijkstra(
+            index.adj, index.link_cost_list, source, load, feasible.tolist()
+        )
+        return _DirectTree(source, order, parent_node, parent_link), dist
+
+    # -- introspection -------------------------------------------------------
+
+    def stats(self) -> dict:
+        """Operational counters for bench rows and diagnostics."""
+        bypass = self.bypass
+        return {
+            "cache_mode": bypass.mode,
+            "cache_pinned": bypass.pinned,
+            "payoff_scale": bypass.payoff_scale,
+            "payoff_floor": bypass.PAYOFF_FLOOR,
+            "mode_switches": bypass.switches,
+            "cache_hits": self.paths.hits,
+            "cache_misses": self.paths.misses,
+            "direct_routes": self.direct_routes,
+            "batch_backend": BACKEND_NAME,
+            "batch_rows": self.batch_rows,
+            "batch_fallbacks": self.batch_fallbacks,
+            "batch_chunks": self.batch_chunks,
+            "batch_density": self.batch_density,
+        }
 
     def embed(
         self,
@@ -296,8 +583,20 @@ class GreedyContext:
         check already materialized, so callers on the hot path skip a
         second pass — or ``None`` when no feasible embedding exists.
         """
+        if self._window_open:
+            self._window_embeds += 1
         profile = self.profiles.get(app)
         if len(profile.groups) == 1:
+            batch = self._batch
+            if batch is not None:
+                picked = batch.select_host(request, profile)
+                if picked is not None:
+                    tree, host_idx = picked
+                    if host_idx < 0:
+                        return None
+                    return _finish_single_host(
+                        self, request, app, profile, tree, host_idx
+                    )
             return _single_host_embed(self, request, app, profile)
         if not allow_split_groups or len(profile.groups) != 2:
             return None
@@ -336,8 +635,7 @@ def _single_host_embed(
     residual = ctx.residual
     route_load = request.demand * profile.root_link_size_sum
     source = index.node_index[request.ingress]
-    tree = ctx.paths.lookup(source, route_load)
-    dist = tree.distances(index.num_nodes, route_load)
+    tree, dist = ctx._route(source, route_load)
 
     node_load = profile.group_load("all", request.demand)
     if isinstance(node_load, float):
@@ -369,6 +667,26 @@ def _single_host_embed(
         cost = node_load * index.node_cost + dist_array
         cost[~candidates] = math.inf
         host_idx = int(np.argmin(cost))
+    return _finish_single_host(ctx, request, app, profile, tree, host_idx)
+
+
+def _finish_single_host(
+    ctx: GreedyContext,
+    request: Request,
+    app: Application,
+    profile: AppProfile,
+    tree,
+    host_idx: int,
+):
+    """Materialize the chosen single-host embedding (path, loads, fits).
+
+    Shared tail of the scalar scan and the batch kernel's vectorized
+    host pick: reconstruct the tree path, build the exact collocated
+    loads, and apply the reference's single fits check on the chosen
+    host (infeasible → reject, never try the next-best host).
+    """
+    index = ctx.index
+    residual = ctx.residual
     host = index.node_ids[host_idx]
     path, positions = tree.path_to(host_idx, index.link_ids)
     loads = _collocated_loads(
@@ -464,10 +782,8 @@ def _two_host_embed(
     need_cross = ("generic", "gpu") in pairs_present
 
     source = index.node_index[request.ingress]
-    tree_v = ctx.paths.lookup(source, root_generic)
-    tree_w = ctx.paths.lookup(source, root_gpu)
-    dist_v = tree_v.distances(index.num_nodes, root_generic)
-    dist_w = tree_w.distances(index.num_nodes, root_gpu)
+    tree_v, dist_v = ctx._route(source, root_generic)
+    tree_w, dist_w = ctx._route(source, root_gpu)
 
     node_array = residual.node_array()
     generic_hosts = _feasible_hosts(
@@ -479,12 +795,10 @@ def _two_host_embed(
     if not generic_hosts or not gpu_hosts:
         return None
 
-    # One cached tree per GPU host candidate covers all v→w pair paths.
-    gpu_trees = {w: ctx.paths.lookup(w, cross) for w, _ in gpu_hosts}
-    gpu_dists = {
-        w: tree.distances(index.num_nodes, cross)
-        for w, tree in gpu_trees.items()
-    }
+    # One tree per GPU host candidate covers all v→w pair paths.
+    gpu_routes = {w: ctx._route(w, cross) for w, _ in gpu_hosts}
+    gpu_trees = {w: route[0] for w, route in gpu_routes.items()}
+    gpu_dists = {w: route[1] for w, route in gpu_routes.items()}
 
     node_cost = index.node_cost
     inf = math.inf

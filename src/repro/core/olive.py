@@ -25,7 +25,8 @@ QUICKG baseline.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import contextlib
+from dataclasses import dataclass
 
 from repro.apps.application import Application
 from repro.apps.efficiency import EfficiencyModel, UniformEfficiency
@@ -86,6 +87,8 @@ class OliveAlgorithm:
         allow_split_greedy: bool = True,
         name: str | None = None,
         use_fast_greedy: bool = True,
+        greedy_cache_mode: str = "adaptive",
+        expected_offers_per_slot: float | None = None,
     ) -> None:
         self.substrate = substrate
         self.apps = apps
@@ -102,13 +105,23 @@ class OliveAlgorithm:
         #: ``use_fast_greedy=False`` routes through the scalar reference
         #: instead — the decision-equivalence tests compare the two.
         self.greedy_context = (
-            GreedyContext(substrate, self.efficiency, self.residual)
+            GreedyContext(
+                substrate, self.efficiency, self.residual,
+                cache_mode=greedy_cache_mode,
+                expected_offers_per_slot=expected_offers_per_slot,
+            )
             if use_fast_greedy
             else None
         )
         #: Precompiled per-pattern load computations (plan patterns are
         #: re-embedded verbatim; only the demand factor varies).
         self._pattern_recipes: dict[int, tuple[object, LoadsRecipe]] = {}
+        #: Shared per-pattern :class:`Embedding` instances (fast engine
+        #: only). A pattern's embedding is demand-independent and
+        #: ``Embedding`` is frozen, so one immutable instance serves
+        #: every request embedded via that pattern — value-equal to the
+        #: fresh copies the reference mode builds.
+        self._pattern_embeddings: dict[int, tuple[object, Embedding]] = {}
         # Mirrors of the active table for the per-slot introspection
         # sums; same keys in the same insertion order as ``active``, so
         # the sums accumulate bit-identically to iterating it.
@@ -127,6 +140,7 @@ class OliveAlgorithm:
         self.plan = plan
         self.plan_residual = PlanResidual(plan)
         self._pattern_recipes.clear()
+        self._pattern_embeddings.clear()
         for allocation in self.active.values():
             allocation.planned = False
             allocation.pattern_index = None
@@ -173,7 +187,7 @@ class OliveAlgorithm:
             index = self.plan_residual.find_full_fit(class_key, request.demand)
             if index is not None:
                 pattern = class_plan.patterns[index]
-                embedding = Embedding.from_pattern(pattern)
+                embedding = self._pattern_embedding(pattern)
                 loads = self._pattern_loads(
                     pattern, app, embedding, request.demand
                 )
@@ -183,7 +197,7 @@ class OliveAlgorithm:
                 index = self.plan_residual.find_partial_fit(class_key)
                 if index is not None:
                     pattern = class_plan.patterns[index]
-                    candidate = Embedding.from_pattern(pattern)
+                    candidate = self._pattern_embedding(pattern)
                     candidate_loads = self._pattern_loads(
                         pattern, app, candidate, request.demand
                     )
@@ -219,6 +233,49 @@ class OliveAlgorithm:
             borrowed=borrowed, via_greedy=False,
             pattern_index=pattern_index, preempted=preempted,
         )
+
+    @contextlib.contextmanager
+    def batched(self, requests: list[Request]):
+        """Speculative batch window over one same-slot run of requests.
+
+        While open, :meth:`process` calls for the listed requests may be
+        served by the vectorized batch kernel
+        (:mod:`repro.core.batch_kernel`); everything else — planned
+        fits, borrowing, preemption, rejections — runs unchanged, and
+        commits stay strictly in call order against live residuals, so
+        the window never alters a decision. A no-op for the reference
+        engine (``use_fast_greedy=False``) and for trivial runs.
+        """
+        context = self.greedy_context
+        if context is None or len(requests) < 2:
+            yield None
+            return
+        plan = context.begin_batch(
+            [(request, self.apps[request.app_index]) for request in requests]
+        )
+        try:
+            yield plan
+        finally:
+            context.end_batch()
+
+    def process_many(self, requests: list[Request]) -> list[Decision]:
+        """Process one slot's arrival run, sequential-equivalent.
+
+        Exactly ``[self.process(r) for r in requests]`` — same decisions,
+        same residual trajectory — but wrapped in :meth:`batched` so the
+        greedy fallback amortizes shortest-path and host-scan work over
+        the whole run. Each settled request is reported back to the plan
+        so speculation chunks skip it.
+        """
+        decisions = []
+        with self.batched(requests) as plan:
+            if plan is None:
+                decisions.extend(self.process(r) for r in requests)
+            else:
+                for request in requests:
+                    decisions.append(self.process(request))
+                    plan.mark_done(request)
+        return decisions
 
     # -- dynamic events ------------------------------------------------------
 
@@ -283,6 +340,23 @@ class OliveAlgorithm:
             app, request.demand, embedding, self.substrate, self.efficiency
         )
         return embedding, loads
+
+    def _pattern_embedding(self, pattern) -> Embedding:
+        """The concrete embedding of a plan pattern.
+
+        The fast engine shares one frozen :class:`Embedding` per pattern
+        (the mapping is demand-independent); the reference mode builds a
+        fresh copy per request — value-equal either way, so decisions
+        compare identically.
+        """
+        if self.greedy_context is None:
+            return Embedding.from_pattern(pattern)
+        entry = self._pattern_embeddings.get(id(pattern))
+        if entry is None or entry[0] is not pattern:
+            embedding = Embedding.from_pattern(pattern)
+            self._pattern_embeddings[id(pattern)] = (pattern, embedding)
+            return embedding
+        return entry[1]
 
     def _pattern_loads(
         self,

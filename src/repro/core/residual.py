@@ -128,6 +128,12 @@ class ResidualState:
         #: must fall back to a full revalidation instead of a delta sweep.
         self.link_dirty_log: list[int] = []
         self.link_dirty_base = 0
+        #: Counts events that *raised* some link residual (departure /
+        #: preemption releases, capacity restorations). Within a window
+        #: where this is unchanged, link residuals are monotonically
+        #: non-increasing — the batch kernel's commit-time fast path
+        #: relies on that monotonicity (see :mod:`repro.core.batch_kernel`).
+        self.link_rise_rev = 0
         #: Revision counter of node-residual changes (array-cache key).
         self.node_rev = 0
         self._node_array: "np.ndarray | None" = None
@@ -250,6 +256,8 @@ class ResidualState:
             position = link_index[link]
             link_residual[position] += load
             dirty.append(position)
+        if loads.links:
+            self.link_rise_rev += 1
         if len(dirty) > self.MAX_DIRTY_LOG:
             self._compact_dirty_log()
 
@@ -284,6 +292,8 @@ class ResidualState:
             return False
         self.link_capacity[position] = capacity
         self.link_residual[position] += delta
+        if delta > 0.0:
+            self.link_rise_rev += 1
         self.link_dirty_log.append(position)
         if len(self.link_dirty_log) > self.MAX_DIRTY_LOG:
             self._compact_dirty_log()

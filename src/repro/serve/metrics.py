@@ -10,6 +10,7 @@ the "stream" in the name; the service emits, subscribers render.
 
 from __future__ import annotations
 
+import math
 from collections import deque
 from collections.abc import Callable
 from dataclasses import dataclass
@@ -60,10 +61,17 @@ class ServiceMetrics:
 
 
 def _percentile(sorted_values: list[float], fraction: float) -> float:
-    """Nearest-rank percentile of an ascending list (0.0 when empty)."""
+    """Nearest-rank percentile of an ascending list (0.0 when empty).
+
+    True nearest-rank definition: the smallest value with at least
+    ``fraction`` of the sample at or below it — rank
+    ``ceil(fraction * n) - 1`` (0-based), clamped to the ends. Matches
+    ``numpy.percentile(..., method="inverted_cdf")`` exactly.
+    """
     if not sorted_values:
         return 0.0
-    rank = min(len(sorted_values) - 1, int(fraction * (len(sorted_values) - 1) + 0.5))
+    n = len(sorted_values)
+    rank = min(n - 1, max(0, math.ceil(fraction * n) - 1))
     return sorted_values[rank]
 
 
@@ -102,6 +110,24 @@ class MetricsStream:
             self.rejected += 1
         self._outcomes.append(accepted)
         self._latencies.append(latency_seconds)
+
+    def record_offers(
+        self, accepted_flags: list[bool], latency_seconds: float
+    ) -> None:
+        """A run of offers sharing one amortized per-offer latency.
+
+        Equivalent to calling :meth:`record_offer` once per flag with
+        the same latency — the bulk entry point
+        (:meth:`~repro.serve.service.EmbedderService.offer_many`) uses
+        it so per-offer accounting stays off the batched hot path.
+        """
+        n = len(accepted_flags)
+        accepted = sum(accepted_flags)
+        self.offers += n
+        self.accepted += accepted
+        self.rejected += n - accepted
+        self._outcomes.extend(accepted_flags)
+        self._latencies.extend([latency_seconds] * n)
 
     def record_shed(self) -> None:
         """One offer shed by admission policy or backpressure.

@@ -10,7 +10,9 @@ ROADMAP's long-running embedder serving live traffic:
   hands admitted offers to the algorithm mid-slot. Same-slot offers are
   **micro-batched**: they share one open slot — departures, capacity
   events and per-slot accounting are paid once per slot, not once per
-  offer (``offer_batch`` does the same for an explicit list).
+  offer. ``offer_many`` takes an explicit list and additionally routes
+  each slot's run through the algorithm's vectorized batch kernel,
+  bit-identical to sequential offers (``offer_batch`` is an alias).
 * ``schedule(request) → bool`` — enqueue a future arrival, subject to
   the ``max_pending`` queue bound (backpressure: a full queue sheds
   instead of growing without limit).
@@ -162,10 +164,7 @@ class EmbedderService:
         # future arrival (departures, events, preloaded-trace work) are
         # simulated-time progress, not part of this offer's decision.
         start = time.perf_counter()  # repro-lint: allow[RPR003] decision-latency telemetry (MetricsStream p50/p99); never reaches results or goldens
-        reason = self.admission.decide(request, self)
-        if reason is not None:
-            self.recent_shed.append((request.id, request.arrival, reason))
-            self.metrics.record_shed()
+        if self._decide(request) is not None:
             return Decision(request=request, accepted=False)
         decision = self.session.process(request)
         self.metrics.record_offer(
@@ -174,15 +173,66 @@ class EmbedderService:
         )
         return decision
 
-    def offer_batch(self, requests: list[Request]) -> list[Decision]:
-        """Micro-batch several same-slot offers in one call.
+    def offer_many(self, requests: list[Request]) -> list[Decision]:
+        """Offer a run of arrivals, coalesced per slot — the batched API.
 
-        Equivalent to offering each in order — one shared slot open, one
-        decision per request — but makes the coalescing explicit at call
-        sites that already hold a slot's worth of traffic.
+        **Decision-equivalent to calling** :meth:`offer` **per request in
+        order** (the serve test tier asserts bit-identity): arrivals must
+        be non-decreasing, each slot's run shares one open slot, the
+        admission policy is consulted per request at exactly the point
+        its sequential offer would have been, and admitted requests
+        commit in order through
+        :meth:`~repro.sim.session.SimulationSession.process_many` — the
+        session-level bulk path that hands the run to the algorithm's
+        vectorized batch kernel. What changes is only the per-offer
+        overhead: slot bookkeeping, timing and metrics are paid once per
+        run, and each admitted offer records the run's amortized
+        per-offer latency instead of an individually timed one.
         """
-        decisions = [self.offer(request) for request in requests]
+        decisions: list[Decision] = []
+        # The stateless admit-everything base policy can never shed, so
+        # the per-request admission callback (and its call overhead in
+        # the session loop) is skipped entirely — any subclass, stateful
+        # or not, keeps the exact sequential consultation order.
+        decide = (
+            None if type(self.admission) is AdmissionPolicy else self._decide
+        )
+        total = len(requests)
+        i = 0
+        while i < total:
+            j = i + 1
+            arrival = requests[i].arrival
+            while j < total and requests[j].arrival == arrival:
+                j += 1
+            run = requests[i:j]
+            self._ensure_slot(run[0])
+            start = time.perf_counter()  # repro-lint: allow[RPR003] decision-latency telemetry (MetricsStream p50/p99); never reaches results or goldens
+            outcomes = self.session.process_many(run, decide=decide)
+            latency = (
+                time.perf_counter() - start  # repro-lint: allow[RPR003] decision-latency telemetry (MetricsStream p50/p99); never reaches results or goldens
+            ) / len(run)
+            settled = [o for o in outcomes if o is not None]
+            if len(settled) == len(outcomes):
+                self.metrics.record_offers(
+                    [outcome.accepted for outcome in settled], latency
+                )
+                decisions.extend(settled)
+            else:
+                for request, outcome in zip(run, outcomes):
+                    if outcome is None:
+                        # Shed by admission; _decide already recorded it.
+                        decisions.append(
+                            Decision(request=request, accepted=False)
+                        )
+                    else:
+                        self.metrics.record_offer(outcome.accepted, latency)
+                        decisions.append(outcome)
+            i = j
         return decisions
+
+    def offer_batch(self, requests: list[Request]) -> list[Decision]:
+        """Compatibility alias for :meth:`offer_many`."""
+        return self.offer_many(requests)
 
     def schedule(self, request: Request) -> bool:
         """Enqueue a future arrival; False when backpressure sheds it.
@@ -253,6 +303,20 @@ class EmbedderService:
         return cls(SimulationSession.restore(snapshot), **service_kwargs)
 
     # -- internals -----------------------------------------------------------
+
+    def _decide(self, request: Request) -> str | None:
+        """Consult admission for one offer; record and return a shed reason.
+
+        ``None`` means admitted. Shared by :meth:`offer` and (as the
+        per-request callback threaded into ``session.process_many``) by
+        :meth:`offer_many`, so stateful policies observe the exact same
+        call sequence on both paths.
+        """
+        reason = self.admission.decide(request, self)
+        if reason is not None:
+            self.recent_shed.append((request.id, request.arrival, reason))
+            self.metrics.record_shed()
+        return reason
 
     def _ensure_slot(self, request: Request) -> None:
         """Advance to the request's arrival slot and open it."""

@@ -42,11 +42,12 @@ checkpointed but not offered mid-slot arrivals.
 from __future__ import annotations
 
 import bisect
+import contextlib
 import copy
 import pickle
 import time
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Any, Iterator
+from typing import TYPE_CHECKING, Any, Callable, Iterator
 
 import numpy as np
 
@@ -348,14 +349,32 @@ class SimulationSession:
         if on_slot is not None:
             on_slot(t)
         if not self._is_batch and arrivals:
-            process = algorithm.process
-            append_decision = self._decisions.append
-            preemptions = self._preemptions
-            for request in arrivals:
-                decision = process(request)
-                append_decision(decision)
-                if decision.preempted:
-                    preemptions.extend((r, t) for r in decision.preempted)
+            # Algorithms exposing the bulk shape (OLIVE and variants)
+            # take the whole run at once — the greedy fast path then
+            # amortizes its work over the slot via the batch kernel.
+            # Decisions and preemption bookkeeping are identical to the
+            # per-request loop (process_many is sequential-equivalent).
+            process_many = getattr(algorithm, "process_many", None)
+            if process_many is not None:
+                slot_decisions = process_many(list(arrivals))
+                self._decisions.extend(slot_decisions)
+                preemptions = self._preemptions
+                for decision in slot_decisions:
+                    if decision.preempted:
+                        preemptions.extend(
+                            (r, t) for r in decision.preempted
+                        )
+            else:
+                process = algorithm.process
+                append_decision = self._decisions.append
+                preemptions = self._preemptions
+                for request in arrivals:
+                    decision = process(request)
+                    append_decision(decision)
+                    if decision.preempted:
+                        preemptions.extend(
+                            (r, t) for r in decision.preempted
+                        )
         self._slot_runtime = time.perf_counter() - start  # repro-lint: allow[RPR003] feeds SlotReport.runtime -> slots_per_second/requests_per_second, key-only in goldens
 
     def process(self, request: Request) -> Decision:
@@ -401,6 +420,143 @@ class SimulationSession:
         if decision.preempted:
             self._preemptions.extend((r, t) for r in decision.preempted)
         return decision
+
+    def process_many(
+        self,
+        requests: list[Request],
+        *,
+        decide: Callable[[Request], str | None] | None = None,
+    ) -> list["Decision | None"]:
+        """Hand a same-slot run of arrivals to the algorithm in one call.
+
+        Sequential-equivalent to calling :meth:`process` per request in
+        order — identical decisions, identical residual trajectory —
+        but the per-offer plumbing (migration application, departure
+        registration, timing) is paid once per run, and algorithms
+        exposing a ``batched`` window (OLIVE and variants) amortize
+        their greedy work over the run via the vectorized batch kernel.
+
+        ``decide`` is an optional admission hook called with each
+        *original* request immediately before it would commit (so a
+        stateful policy observes exactly the interleaving sequential
+        offers would produce); a non-None reason sheds the request —
+        the algorithm never sees it and the returned list carries
+        ``None`` at its position. This is the primitive
+        :meth:`repro.serve.EmbedderService.offer_many` drives.
+        """
+        if not self._slot_open:
+            raise SimulationError(
+                f"no slot is open (clock at {self._clock}); call "
+                "begin_slot() first"
+            )
+        if self._is_batch:
+            raise SimulationError(
+                f"algorithm {self.algorithm.name!r} solves whole slots at "
+                "once (batch shape) and cannot take mid-slot arrivals; "
+                "submit() the request for a future slot instead"
+            )
+        if not requests:
+            return []
+        migrated = (
+            [self.events.apply_migrations(r) for r in requests]
+            if self.events is not None
+            else requests
+        )
+        algorithm = self.algorithm
+        if decide is None:
+            bulk = getattr(algorithm, "process_many", None)
+            if bulk is not None:
+                return self._process_run_bulk(migrated, bulk)
+        batched = getattr(algorithm, "batched", None)
+        window: Any = (
+            batched(migrated) if batched is not None
+            else contextlib.nullcontext()
+        )
+        t = self._clock
+        num_slots = self.num_slots
+        departures = self._departures_by_slot
+        decisions = self._decisions
+        preemptions = self._preemptions
+        process = algorithm.process
+        outcomes: list[Decision | None] = []
+        # One accumulator round-trip instead of a numpy scalar add per
+        # request; float64 adds in the same order, so the stored value is
+        # bit-identical to the sequential path's.
+        total = float(self._requested[t])
+        start = time.perf_counter()  # repro-lint: allow[RPR003] feeds SlotReport.runtime -> slots_per_second/requests_per_second, key-only in goldens
+        with window as plan:
+            for original, request in zip(requests, migrated):
+                if decide is not None:
+                    reason = decide(original)
+                    if reason is not None:
+                        if plan is not None:
+                            plan.mark_done(request)
+                        outcomes.append(None)
+                        continue
+                if request.arrival != t:
+                    raise SimulationError(
+                        f"request {request.id} arrives at "
+                        f"{request.arrival}, but the open slot is {t}"
+                    )
+                total += request.demand
+                if request.departure < num_slots:
+                    bisect.insort(
+                        departures.setdefault(request.departure, []),
+                        request,
+                    )
+                decision = process(request)
+                decisions.append(decision)
+                if decision.preempted:
+                    preemptions.extend((r, t) for r in decision.preempted)
+                if plan is not None:
+                    plan.mark_done(request)
+                outcomes.append(decision)
+        self._slot_runtime += time.perf_counter() - start  # repro-lint: allow[RPR003] feeds SlotReport.runtime -> slots_per_second/requests_per_second, key-only in goldens
+        self._requested[t] = total
+        return outcomes
+
+    def _process_run_bulk(
+        self,
+        migrated: list[Request],
+        bulk: Callable[[list[Request]], list[Decision]],
+    ) -> list["Decision | None"]:
+        """No-shed run: session bookkeeping up front, then one bulk call.
+
+        With no admission hook there is nothing to interleave, so the
+        whole run goes through the algorithm's own ``process_many`` —
+        the exact call :meth:`begin_slot` makes for scheduled arrivals —
+        instead of a per-request session loop. Bookkeeping is identical:
+        the demand accumulator adds in arrival order (bit-identical
+        float sum) and departure registration happens before processing,
+        which nothing in the open slot observes.
+        """
+        t = self._clock
+        num_slots = self.num_slots
+        departures = self._departures_by_slot
+        total = float(self._requested[t])
+        for request in migrated:
+            if request.arrival != t:
+                raise SimulationError(
+                    f"request {request.id} arrives at "
+                    f"{request.arrival}, but the open slot is {t}"
+                )
+            total += request.demand
+            if request.departure < num_slots:
+                bisect.insort(
+                    departures.setdefault(request.departure, []),
+                    request,
+                )
+        self._requested[t] = total
+        start = time.perf_counter()  # repro-lint: allow[RPR003] feeds SlotReport.runtime -> slots_per_second/requests_per_second, key-only in goldens
+        slot_decisions = bulk(migrated)
+        self._slot_runtime += time.perf_counter() - start  # repro-lint: allow[RPR003] feeds SlotReport.runtime -> slots_per_second/requests_per_second, key-only in goldens
+        self._decisions.extend(slot_decisions)
+        preemptions = self._preemptions
+        for decision in slot_decisions:
+            if decision.preempted:
+                preemptions.extend((r, t) for r in decision.preempted)
+        outcomes: list[Decision | None] = list(slot_decisions)
+        return outcomes
 
     def close_slot(self) -> SlotReport:
         """Seal the open slot: run a batch algorithm's slot solve, record

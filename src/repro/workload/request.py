@@ -7,13 +7,17 @@ from dataclasses import dataclass
 from repro.errors import WorkloadError
 
 
-@dataclass(frozen=True, order=True)
+@dataclass(frozen=True)
 class Request:
     """One VN deployment request.
 
     Ordering is by ``(arrival, id)`` so a sorted request list is a valid
     ON-VNE processing order (distinct requests get distinct positions even
-    within one time slot, per Fig. 2).
+    within one time slot, per Fig. 2). The comparisons are hand-written
+    on those two fields: ids are unique trace-wide, so this is the same
+    total order the full field tuple would give, without building a
+    six-field tuple (including a string) per comparison — request sorts
+    and departure-registration insorts sit on the simulator's hot path.
 
     Attributes
     ----------
@@ -39,6 +43,22 @@ class Request:
     ingress: str
     demand: float
     duration: int
+
+    def __lt__(self, other: "Request") -> bool:
+        if self.arrival != other.arrival:
+            return self.arrival < other.arrival
+        return self.id < other.id
+
+    def __le__(self, other: "Request") -> bool:
+        if self.arrival != other.arrival:
+            return self.arrival < other.arrival
+        return self.id <= other.id
+
+    def __gt__(self, other: "Request") -> bool:
+        return other.__lt__(self)
+
+    def __ge__(self, other: "Request") -> bool:
+        return other.__le__(self)
 
     def __post_init__(self) -> None:
         if self.demand <= 0:

@@ -1,0 +1,414 @@
+"""The vectorized batch kernel and the adaptive PathCache bypass.
+
+Three layers of enforcement for the embedding fast path:
+
+* **whole-sim bit-identity** — every ``cache_mode`` (adaptive, pinned
+  banded, pinned direct) on both engines, calibrated both below and
+  above the bypass payoff threshold, must reproduce the frozen scalar
+  reference exactly (the speed machinery may never touch decisions);
+* **kernel unit semantics** — the chunk cost evaluation against a
+  scalar replay oracle, density gating, ``mark_done`` skipping, and the
+  monotone-damage fast path's rise-counter certificate (a mid-window
+  release must disarm it without changing any result);
+* **controller mechanics** — :class:`repro.core.greedy._BypassController`
+  state transitions are deterministic counters: probe window, hold
+  window, payoff-floor calibration, pinned modes.
+"""
+
+from __future__ import annotations
+
+import importlib
+import importlib.util
+
+import numpy as np
+import pytest
+
+from repro.baselines.quickg import make_quickg
+from repro.core import batch_kernel, greedy_reference
+from repro.core.embedding import compute_loads
+from repro.core.greedy import GreedyContext, _BypassController
+from repro.core.olive import OliveAlgorithm
+from repro.core.residual import ResidualState
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.scenario import build_scenario
+from repro.sim.engine import simulate
+from repro.sim.session import SimulationSession
+from tests.test_fastpath_equivalence import assert_results_identical
+
+_scenarios: dict = {}
+_references: dict = {}
+
+
+def _scenario(engine: str):
+    """Build-once scenario per engine (the plan build dominates)."""
+    if engine not in _scenarios:
+        config = ExperimentConfig.test(utilization=1.2)
+        _scenarios[engine] = build_scenario(
+            config, seed=3, with_plan=engine == "OLIVE"
+        )
+    return _scenarios[engine]
+
+
+def _make(engine: str, scenario, **kwargs):
+    if engine == "OLIVE":
+        return OliveAlgorithm(
+            scenario.substrate, scenario.apps, scenario.plan,
+            efficiency=scenario.efficiency, **kwargs,
+        )
+    return make_quickg(
+        scenario.substrate, scenario.apps, scenario.efficiency, **kwargs
+    )
+
+
+def _reference_result(engine: str):
+    """One frozen-reference run per engine, shared across parametrize."""
+    if engine not in _references:
+        scenario = _scenario(engine)
+        _references[engine] = simulate(
+            _make(engine, scenario, use_fast_greedy=False),
+            scenario.online_requests(),
+            scenario.config.online_slots,
+        )
+    return _references[engine]
+
+
+# -- whole-sim bit-identity across every bypass configuration -----------------
+
+
+class TestWholeSimIdentity:
+    @pytest.mark.parametrize("engine", ["OLIVE", "QUICKG"])
+    @pytest.mark.parametrize("cache_mode", ["adaptive", "banded", "direct"])
+    @pytest.mark.parametrize(
+        "offers_per_slot",
+        [1.0, 1000.0],
+        ids=["below-payoff", "above-payoff"],
+    )
+    def test_modes_match_reference(
+        self, engine, cache_mode, offers_per_slot
+    ):
+        """Both sides of the payoff threshold, every mode, bit-equal."""
+        scenario = _scenario(engine)
+        payoff_scale = offers_per_slot * len(scenario.substrate.nodes)
+        assert (payoff_scale < _BypassController.PAYOFF_FLOOR) == (
+            offers_per_slot == 1.0
+        )
+        fast = simulate(
+            _make(
+                engine, scenario,
+                greedy_cache_mode=cache_mode,
+                expected_offers_per_slot=offers_per_slot,
+            ),
+            scenario.online_requests(),
+            scenario.config.online_slots,
+        )
+        assert_results_identical(fast, _reference_result(engine))
+
+    def test_forced_numpy_backend_matches(self, monkeypatch):
+        """REPRO_BATCH_BACKEND=numpy is the oracle; auto must agree."""
+        monkeypatch.setenv("REPRO_BATCH_BACKEND", "numpy")
+        try:
+            importlib.reload(batch_kernel)
+            assert batch_kernel.BACKEND_NAME == "numpy"
+            scenario = _scenario("QUICKG")
+            fast = simulate(
+                _make("QUICKG", scenario),
+                scenario.online_requests(),
+                scenario.config.online_slots,
+            )
+            assert_results_identical(fast, _reference_result("QUICKG"))
+        finally:
+            monkeypatch.delenv("REPRO_BATCH_BACKEND")
+            importlib.reload(batch_kernel)
+
+    def test_backend_resolution(self):
+        """Without numba installed the fallback must self-select."""
+        assert batch_kernel.BACKEND_NAME in ("numpy", "numba")
+        if importlib.util.find_spec("numba") is None:
+            assert batch_kernel.BACKEND_NAME == "numpy"
+
+    def test_invalid_backend_env_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BATCH_BACKEND", "cython")
+        try:
+            with pytest.raises(ValueError, match="REPRO_BATCH_BACKEND"):
+                importlib.reload(batch_kernel)
+        finally:
+            monkeypatch.delenv("REPRO_BATCH_BACKEND")
+            importlib.reload(batch_kernel)
+
+
+# -- process_many ≡ sequential process ----------------------------------------
+
+
+def test_process_many_equals_sequential_process():
+    """The session bulk path and the per-request path must be
+    indistinguishable: identical decisions AND identical final residual
+    arrays (the batch kernel commits against live residuals in order)."""
+    scenario = _scenario("OLIVE")
+    online = scenario.online_requests()
+    slots = scenario.config.online_slots
+    by_slot: dict[int, list] = {}
+    for request in sorted(online):
+        by_slot.setdefault(request.arrival, []).append(request)
+
+    bulk_algorithm = _make("OLIVE", scenario)
+    bulk_session = SimulationSession(bulk_algorithm, online, slots)
+    for _ in range(slots):
+        bulk_session.step()
+    bulk = bulk_session.result()
+
+    seq_algorithm = _make("OLIVE", scenario)
+    seq_session = SimulationSession(seq_algorithm, [], slots)
+    for slot in range(slots):
+        seq_session.begin_slot()
+        for request in by_slot.get(slot, ()):
+            seq_session.process(request)
+        seq_session.close_slot()
+    sequential = seq_session.result()
+
+    assert_results_identical(sequential, bulk)
+    assert np.array_equal(
+        seq_algorithm.residual.node_array(),
+        bulk_algorithm.residual.node_array(),
+    )
+    assert np.array_equal(
+        seq_algorithm.residual.link_array(),
+        bulk_algorithm.residual.link_array(),
+    )
+
+
+# -- the chunk cost kernel vs a scalar replay oracle --------------------------
+
+
+def test_chunk_cost_numpy_matches_scalar_replay():
+    """Bit-for-bit: the partial-sum table must reproduce the scalar
+    settle-order replay (same multiply-then-add per element)."""
+    rng = np.random.default_rng(11)
+    num_requests, num_nodes = 17, 29
+    loads = rng.uniform(0.5, 8.0, num_requests)
+    node_loads = rng.uniform(0.1, 4.0, num_requests)
+    node_cost = rng.uniform(0.5, 3.0, num_nodes)
+    unit_cost = 1.75
+    depths = rng.integers(-1, 7, size=(num_requests, num_nodes))
+
+    got = batch_kernel._chunk_cost_numpy(
+        loads, unit_cost, depths, node_loads, node_cost
+    )
+
+    expected = np.empty((num_requests, num_nodes))
+    for r in range(num_requests):
+        increment = loads[r] * unit_cost
+        partial = [0.0]
+        for _ in range(int(depths.max())):
+            partial.append(partial[-1] + increment)
+        for v in range(num_nodes):
+            depth = int(depths[r, v])
+            dist = partial[depth] if depth >= 0 else np.inf
+            expected[r, v] = node_loads[r] * node_cost[v] + dist
+    assert np.array_equal(got, expected)
+
+
+def test_chunk_cost_handles_all_unreached():
+    got = batch_kernel._chunk_cost_numpy(
+        np.array([2.0]),
+        1.0,
+        np.array([[-1, -1, -1]]),
+        np.array([1.0]),
+        np.array([1.0, 2.0, 3.0]),
+    )
+    assert np.all(np.isinf(got))
+
+
+# -- plan-level mechanics -----------------------------------------------------
+
+
+def _greedy_pairs(scenario, limit=None):
+    """(request, app) pairs for the single-group slot-0 style workload."""
+    pairs = [
+        (request, scenario.apps[request.app_index])
+        for request in scenario.online_requests()
+    ]
+    return pairs[:limit] if limit else pairs
+
+
+def _fresh_context(scenario, **kwargs):
+    residual = ResidualState(scenario.substrate)
+    return GreedyContext(
+        scenario.substrate, scenario.efficiency, residual, **kwargs
+    )
+
+
+def test_density_gate_skips_speculation():
+    scenario = _scenario("QUICKG")
+    ctx = _fresh_context(scenario)
+    pairs = _greedy_pairs(scenario, limit=8)
+
+    ctx.batch_density = GreedyContext.MIN_BATCH_DENSITY / 2
+    assert ctx.begin_batch(pairs) is None
+    ctx.end_batch()
+
+    ctx.batch_density = 1.0
+    plan = ctx.begin_batch(pairs)
+    assert plan is not None
+    ctx.end_batch()
+
+
+def test_density_remeasured_even_without_plan():
+    """A gated window still measures density, so batching re-engages."""
+    scenario = _scenario("QUICKG")
+    ctx = _fresh_context(scenario)
+    pairs = _greedy_pairs(scenario, limit=4)
+    ctx.batch_density = 0.0
+    assert ctx.begin_batch(pairs) is None
+    for request, app in pairs:
+        ctx.embed(request, app, allow_split_groups=False)
+    ctx.end_batch()
+    assert ctx.batch_density == 1.0
+    assert ctx.begin_batch(pairs) is not None
+    ctx.end_batch()
+
+
+def test_mark_done_requests_are_never_speculated():
+    scenario = _scenario("QUICKG")
+    ctx = _fresh_context(scenario)
+    pairs = _greedy_pairs(scenario, limit=6)
+    plan = ctx.begin_batch(pairs)
+    assert plan is not None
+    done_request, done_app = pairs[0]
+    plan.mark_done(done_request)
+    picked = plan.select_host(
+        done_request, ctx.profiles.get(done_app)
+    )
+    assert picked is None
+    assert plan.rows_used == 0
+    ctx.end_batch()
+
+
+def test_batched_embeds_match_reference_across_midrun_release():
+    """A release inside the window bumps the rise counter, disarming the
+    monotone-damage certificate — and every embed before and after must
+    still equal the frozen scalar reference on a mirrored residual."""
+    scenario = _scenario("QUICKG")
+    substrate = scenario.substrate
+    efficiency = scenario.efficiency
+    ctx = _fresh_context(scenario, cache_mode="banded")
+    ref_residual = ResidualState(substrate)
+    pairs = _greedy_pairs(scenario, limit=40)
+
+    plan = ctx.begin_batch(pairs)
+    assert plan is not None
+    rise_before = ctx.residual.link_rise_rev
+    committed: list = []
+    for position, (request, app) in enumerate(pairs):
+        got = ctx.embed(request, app, allow_split_groups=False)
+        expected = greedy_reference.greedy_embed(
+            request, app, substrate, efficiency, ref_residual,
+            allow_split_groups=False,
+        )
+        if expected is None:
+            assert got is None
+        else:
+            embedding, loads = got
+            assert embedding == expected
+            ctx.residual.allocate(loads)
+            ref_residual.allocate(
+                compute_loads(
+                    app, request.demand, expected, substrate, efficiency
+                )
+            )
+            committed.append((loads, compute_loads(
+                app, request.demand, expected, substrate, efficiency
+            )))
+        plan.mark_done(request)
+        if position == len(pairs) // 2 and committed:
+            # Mid-window release: the one residual mutation a batch
+            # window is promised not to contain — the kernel must detect
+            # it (rise counter) and keep falling back correctly.
+            fast_loads, ref_loads = committed.pop(0)
+            ctx.residual.release(fast_loads)
+            ref_residual.release(ref_loads)
+    assert ctx.residual.link_rise_rev > rise_before
+    ctx.end_batch()
+    assert np.array_equal(
+        ctx.residual.link_array(), ref_residual.link_array()
+    )
+    assert np.array_equal(
+        ctx.residual.node_array(), ref_residual.node_array()
+    )
+
+
+def test_rise_counter_tracks_only_rises():
+    scenario = _scenario("QUICKG")
+    ctx = _fresh_context(scenario)
+    pairs = _greedy_pairs(scenario, limit=10)
+    rev = ctx.residual.link_rise_rev
+    for request, app in pairs:
+        got = ctx.embed(request, app, allow_split_groups=False)
+        if got is not None:
+            _, loads = got
+            ctx.residual.allocate(loads)
+            # Allocations only lower residuals: no rise.
+            assert ctx.residual.link_rise_rev == rev
+            if loads.links:
+                ctx.residual.release(loads)
+                rev += 1
+                assert ctx.residual.link_rise_rev == rev
+                ctx.residual.allocate(loads)
+
+
+# -- the bypass controller ----------------------------------------------------
+
+
+class TestBypassController:
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ValueError, match="cache_mode"):
+            _BypassController("turbo", None)
+
+    def test_pinned_banded_never_switches(self):
+        controller = _BypassController("banded", payoff_scale=1.0)
+        for _ in range(2 * _BypassController.PROBE):
+            assert controller.use_bands()
+            controller.observe(False)
+        assert controller.mode == "banded"
+        assert controller.switches == 0
+
+    def test_pinned_direct_never_switches(self):
+        controller = _BypassController("direct", payoff_scale=1e9)
+        for _ in range(2 * _BypassController.HOLD):
+            assert not controller.use_bands()
+        assert controller.mode == "direct"
+        assert controller.switches == 0
+
+    def test_payoff_floor_calibrates_initial_mode(self):
+        floor = _BypassController.PAYOFF_FLOOR
+        assert _BypassController("adaptive", floor / 2).mode == "direct"
+        assert _BypassController("adaptive", floor).mode == "banded"
+        assert _BypassController("adaptive", None).mode == "banded"
+
+    def test_probe_window_drops_to_direct_on_low_hit_rate(self):
+        controller = _BypassController("adaptive", None)
+        for _ in range(_BypassController.PROBE):
+            assert controller.use_bands()
+            controller.observe(False)
+        assert controller.mode == "direct"
+        assert controller.switches == 1
+
+    def test_good_hit_rate_stays_banded(self):
+        controller = _BypassController("adaptive", None)
+        for _ in range(4 * _BypassController.PROBE):
+            assert controller.use_bands()
+            controller.observe(True)
+        assert controller.mode == "banded"
+        assert controller.switches == 0
+
+    def test_hold_window_reprobes(self):
+        controller = _BypassController("adaptive", None)
+        for _ in range(_BypassController.PROBE):
+            controller.use_bands()
+            controller.observe(False)
+        assert controller.mode == "direct"
+        # The hold window: direct for HOLD lookups, then banded again.
+        for _ in range(_BypassController.HOLD):
+            assert not controller.use_bands()
+        assert controller.mode == "banded"
+        assert controller.switches == 2
+        assert controller.use_bands()

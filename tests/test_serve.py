@@ -1,6 +1,9 @@
 """Tests for the serving layer (repro.serve) and its facade entry points."""
 
+import numpy as np
 import pytest
+from hypothesis import given
+from hypothesis import strategies as st
 
 from repro.api import Experiment
 from repro.baselines.quickg import make_quickg
@@ -106,6 +109,86 @@ class TestOffer:
             EmbedderService(object())
 
 
+class TestOfferMany:
+    """offer_many must be decision-bit-identical to sequential offer()."""
+
+    def _traffic(self, scenario, slots, seed):
+        rng = make_rng(seed)
+        requests = []
+        for _, batch in poisson_offers(
+            scenario, slots, rng, rate_per_node=1.0
+        ):
+            requests.extend(batch)
+        return requests
+
+    @pytest.mark.parametrize(
+        "admission,params",
+        [
+            ("always", None),
+            # Stateful policies: decide() order must match exactly.
+            ("token-bucket", {"rate": 2.0, "burst": 3.0}),
+            ("utilization-guard", {"threshold": 0.4}),
+        ],
+    )
+    def test_bit_identical_to_sequential_offers(
+        self, test_scenario, admission, params
+    ):
+        from repro.experiments.scenario import make_algorithm
+
+        slots = min(5, test_scenario.config.online_slots)
+        requests = self._traffic(test_scenario, slots, seed=11)
+        assert len(requests) > 4
+
+        services = []
+        for _ in range(2):
+            session = SimulationSession(
+                make_algorithm("OLIVE", test_scenario),
+                [],
+                test_scenario.config.online_slots,
+            )
+            services.append(
+                EmbedderService(
+                    session, admission=admission, admission_params=params
+                )
+            )
+        sequential, batched = services
+
+        one_by_one = [sequential.offer(r) for r in requests]
+        many = batched.offer_many(requests)
+
+        assert [d.accepted for d in many] == [
+            d.accepted for d in one_by_one
+        ]
+        assert [d.embedding for d in many] == [
+            d.embedding for d in one_by_one
+        ]
+        assert batched.metrics.offers == sequential.metrics.offers
+        assert batched.metrics.shed == sequential.metrics.shed
+        final_many = batched.finish()
+        final_one = sequential.finish()
+        assert final_many.decisions == final_one.decisions
+        assert np.array_equal(
+            final_many.allocated_demand, final_one.allocated_demand
+        )
+
+    def test_offer_many_spans_slots(self, line_substrate, chain_app):
+        service = _service(line_substrate, chain_app)
+        requests = [
+            _request(1, arrival=0), _request(2, arrival=0),
+            _request(3, arrival=2), _request(4, arrival=2),
+            _request(5, arrival=2),
+        ]
+        decisions = service.offer_many(requests)
+        assert [d.request.id for d in decisions] == [1, 2, 3, 4, 5]
+        assert all(d.accepted for d in decisions)
+        assert service.current_slot == 2  # last run's slot stays open
+        assert service.metrics.offers == 5
+
+    def test_offer_many_empty(self, line_substrate, chain_app):
+        service = _service(line_substrate, chain_app)
+        assert service.offer_many([]) == []
+
+
 class TestBackpressure:
     def test_schedule_bounded_queue(self, line_substrate, chain_app):
         service = _service(line_substrate, chain_app, max_pending=2)
@@ -205,7 +288,9 @@ class TestMetricsStream:
         assert snapshot.shed == 1
         assert snapshot.acceptance_rate == pytest.approx(3 / 5)
         assert snapshot.rolling_acceptance_rate == pytest.approx(3 / 4)
-        assert snapshot.p50_latency_ms == pytest.approx(3.0)
+        # Nearest-rank: p50 of 4 samples is rank ceil(0.5*4)-1 = 1 (2ms),
+        # not the rounded-interpolation rank the old bug produced (3ms).
+        assert snapshot.p50_latency_ms == pytest.approx(2.0)
         assert snapshot.p99_latency_ms == pytest.approx(4.0)
         assert snapshot.pending == 3 and snapshot.slot == 7
         assert "p99" in snapshot.describe()
@@ -228,6 +313,25 @@ class TestMetricsStream:
     def test_window_validation(self):
         with pytest.raises(ValueError):
             MetricsStream(window=0)
+
+    @given(
+        values=st.lists(
+            st.floats(
+                min_value=0.0, max_value=1e3,
+                allow_nan=False, allow_infinity=False,
+            ),
+            min_size=1, max_size=64,
+        ),
+        fraction=st.floats(min_value=0.0, max_value=1.0),
+    )
+    def test_percentile_matches_numpy_inverted_cdf(self, values, fraction):
+        """_percentile is exactly numpy's nearest-rank (inverted_cdf)."""
+        from repro.serve.metrics import _percentile
+
+        expected = float(
+            np.quantile(values, fraction, method="inverted_cdf")
+        )
+        assert _percentile(sorted(values), fraction) == expected
 
 
 class TestServiceSnapshot:
