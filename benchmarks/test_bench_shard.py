@@ -1,0 +1,151 @@
+"""Sharded serving tier: aggregate offers/sec vs shard count.
+
+Drives the same generated Poisson trace through the
+:class:`~repro.shard.ShardedEmbedderService` at K ∈ {1, 2, 4, 8} process
+workers on the ``tiered-x:400`` generated topology and records the
+aggregate offer throughput to a ``BENCH_shard.json`` trajectory (one
+record appended per run). Checkpointing stays at the serving default
+(every slot boundary) so the measured number is the real tier, failover
+insurance included.
+
+Correctness gates, every run:
+
+* **K=1 bit-identity** — the single-shard sharded service must produce
+  the exact decision stream of the unsharded
+  :class:`~repro.serve.EmbedderService` on the benchmark trace;
+* all shard counts serve the same number of offers (the trace routes
+  identically regardless of the partition).
+
+Wall-clock gate (full runs only): K=4 must beat K=1 on aggregate
+offers/sec — the whole point of the tier. Smoke mode
+(``REPRO_BENCH_FAST=1``, used by CI) shrinks the topology and the shard
+ladder but keeps the bit-identity gate.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+from _bench_utils import FAST, RESULTS_DIR, bench_config, record
+from repro.api import Experiment
+from repro.experiments.figures import scale_config
+from repro.serve import poisson_offers
+from repro.utils.rng import child_rng, make_rng
+
+TRAJECTORY_FILE = RESULTS_DIR / "BENCH_shard.json"
+
+TOPOLOGY = "tiered-x:120" if FAST else "tiered-x:400"
+SHARD_COUNTS = (1, 2) if FAST else (1, 2, 4, 8)
+ALGORITHM = "QUICKG"
+SEED = 0
+
+
+def _shard_bench_config():
+    """The scale-curve preset on one generated topology (no sweep)."""
+    config = scale_config(bench_config(topology=TOPOLOGY, repetitions=1))
+    if FAST:
+        config = config.with_(online_slots=12, measure_start=2,
+                              measure_stop=10)
+    return config
+
+
+def _trace(scenario, slots):
+    """The benchmark workload, materialized once and replayed per K."""
+    rng = child_rng(make_rng(SEED), "serve-traffic")
+    return list(poisson_offers(scenario, slots, rng))
+
+
+def _drive(service, trace):
+    """Offer the trace slot by slot; return (decisions, wall seconds)."""
+    decisions = []
+    start = time.perf_counter()
+    for slot, batch in trace:
+        if batch:
+            decisions.extend(service.offer_many(batch))
+        service.advance_to(slot + 1)
+    return decisions, time.perf_counter() - start
+
+
+def test_shard_throughput(benchmark):
+    config = _shard_bench_config()
+    experiment = Experiment(config).algorithms(ALGORITHM)
+    slots = config.online_slots
+
+    # The unsharded oracle: same scenario, same trace, one process.
+    oracle = experiment.serve(seed=SEED)
+    trace = _trace(oracle.scenario, slots)
+    num_offers = sum(len(batch) for _, batch in trace)
+    oracle_decisions, oracle_wall = _drive(oracle, trace)
+
+    def run_ladder():
+        measured = {}
+        for num_shards in SHARD_COUNTS:
+            service = experiment.serve(
+                seed=SEED, shards=num_shards, shard_workers="process"
+            )
+            with service:
+                decisions, wall = _drive(service, trace)
+                measured[num_shards] = {
+                    "decisions": decisions,
+                    "wall": wall,
+                    "cross_shard": service.cross_shard_stats(),
+                    "boundary_links": len(service.partition.boundary_links),
+                }
+        return measured
+
+    measured = benchmark.pedantic(run_ladder, rounds=1, iterations=1)
+
+    # Gate: K=1 sharded ≡ unsharded, decision by decision.
+    assert measured[1]["decisions"] == oracle_decisions
+    for num_shards in SHARD_COUNTS:
+        assert len(measured[num_shards]["decisions"]) == num_offers
+
+    entry = {
+        "topology": TOPOLOGY,
+        "algorithm": ALGORITHM,
+        "online_slots": slots,
+        "num_offers": num_offers,
+        "fast_mode": FAST,
+        "unsharded_offers_per_sec": num_offers / oracle_wall,
+        "shards": {},
+    }
+    lines = [
+        f"[{TOPOLOGY}] {ALGORITHM}, {slots} slots, {num_offers} offers, "
+        f"per-slot checkpointing (K=1 decisions ≡ unsharded)",
+        f"  unsharded {num_offers / oracle_wall:8.0f} offers/s "
+        f"({oracle_wall:6.2f}s)",
+    ]
+    base_rate = num_offers / measured[1]["wall"]
+    for num_shards in SHARD_COUNTS:
+        stats = measured[num_shards]
+        rate = num_offers / stats["wall"]
+        cross = stats["cross_shard"]
+        entry["shards"][str(num_shards)] = {
+            "offers_per_sec": rate,
+            "wall_seconds": stats["wall"],
+            "speedup_vs_k1": rate / base_rate,
+            "boundary_links": stats["boundary_links"],
+            "cross_shard_attempts": cross["attempts"],
+            "cross_shard_commits": cross["commits"],
+        }
+        lines.append(
+            f"  K={num_shards}       {rate:8.0f} offers/s "
+            f"({stats['wall']:6.2f}s)  {rate / base_rate:5.2f}x vs K=1  "
+            f"boundary={stats['boundary_links']}  "
+            f"cross={cross['commits']}/{cross['attempts']}"
+        )
+    record("shard", lines)
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+    entry["timestamp"] = time.strftime("%Y-%m-%dT%H:%M:%S")
+    try:
+        trajectory = json.loads(TRAJECTORY_FILE.read_text())
+    except (OSError, ValueError):
+        trajectory = []
+    trajectory.append(entry)
+    TRAJECTORY_FILE.write_text(json.dumps(trajectory, indent=1) + "\n")
+
+    # Wall-clock gate: sharding must pay for itself by K=4.
+    if not FAST:
+        assert entry["shards"]["4"]["speedup_vs_k1"] > 1.0, entry["shards"]

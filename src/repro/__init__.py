@@ -118,6 +118,11 @@ from repro.sim import (
     simulate,
 )
 from repro.serve import EmbedderService, MetricsStream, ServiceMetrics
+from repro.shard import (
+    ShardedEmbedderService,
+    SubstratePartition,
+    partition_substrate,
+)
 from repro.experiments import (
     ExperimentConfig,
     algorithms_need_plan,
@@ -145,7 +150,7 @@ from repro.registry import (
 )
 from repro.scenarios import EventSchedule
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     # errors
@@ -216,6 +221,10 @@ __all__ = [
     "EmbedderService",
     "MetricsStream",
     "ServiceMetrics",
+    # shard
+    "ShardedEmbedderService",
+    "SubstratePartition",
+    "partition_substrate",
     "rejection_rate",
     "cost_breakdown",
     "balance_index",

@@ -586,15 +586,14 @@ class Experiment:
 
     # -- streaming ------------------------------------------------------------
 
-    def _streaming_point(self, algorithm: str | None, seed: int | None):
-        """Resolve the single configured point for stream()/serve()."""
+    def _streaming_scenario(self, name: str, seed: int | None):
+        """Resolve the scenario/event schedule for the configured point."""
         if self._sweeps:
             raise SimulationError(
                 "stream()/serve() drive one configured point; this "
                 f"experiment sweeps {[p for p, _ in self._sweeps]} — "
                 "expand points() and build one session per point instead"
             )
-        name = algorithm if algorithm is not None else self._algorithms[0]
         algorithm_registry.get(name)  # fail fast on unknown names
         kwargs = dict(self._perturbations)
         events = kwargs.pop("events", None)
@@ -603,6 +602,12 @@ class Experiment:
         seed = self.config.base_seed if seed is None else seed
         scenario = build_scenario(self.config, seed, **kwargs)
         schedule = resolve_events(events, scenario, seed, policy)
+        return scenario, schedule
+
+    def _streaming_point(self, algorithm: str | None, seed: int | None):
+        """Resolve the single configured point for stream()/serve()."""
+        name = algorithm if algorithm is not None else self._algorithms[0]
+        scenario, schedule = self._streaming_scenario(name, seed)
         return scenario, make_algorithm(name, scenario), schedule
 
     def stream(
@@ -637,6 +642,10 @@ class Experiment:
         max_pending: int | None = None,
         metrics_window: int = 512,
         preload_trace: bool = False,
+        shards: int | None = None,
+        shard_policy: str = "kbalanced",
+        shard_workers: str = "process",
+        checkpoint_every: int = 1,
     ) -> "EmbedderService":
         """Stand up an :class:`~repro.serve.EmbedderService` for this point.
 
@@ -648,8 +657,54 @@ class Experiment:
         admission policy; ``max_pending`` bounds the scheduled-arrival
         queue (backpressure). The built scenario is attached as
         ``service.scenario`` for traffic generators.
+
+        ``shards=K`` stands up a
+        :class:`~repro.shard.ShardedEmbedderService` instead — the
+        substrate partitioned into K regions by the registered
+        ``shard_policy``, one worker session per shard
+        (``shard_workers``: ``"process"`` or ``"inline"``), checkpointed
+        every ``checkpoint_every`` slots. The sharded service drives
+        live offers only: ``preload_trace``, ``max_pending``, and
+        attached event schedules are rejected.
         """
         from repro.serve.service import EmbedderService
+
+        if shards is not None:
+            from repro.shard import ShardedEmbedderService
+
+            if preload_trace:
+                raise SimulationError(
+                    "serve(shards=...) drives live offers only; "
+                    "preload_trace is not supported by the sharded tier"
+                )
+            if max_pending is not None:
+                raise SimulationError(
+                    "serve(shards=...) has no scheduled-arrival queue; "
+                    "max_pending is not supported by the sharded tier"
+                )
+            if not isinstance(admission, str):
+                raise SimulationError(
+                    "serve(shards=...) ships admission to workers by "
+                    "registry name; pass a registered policy name"
+                )
+            name = algorithm if algorithm is not None else self._algorithms[0]
+            scenario, schedule = self._streaming_scenario(name, seed)
+            if schedule is not None:
+                raise SimulationError(
+                    "event schedules are not supported by the sharded "
+                    "service; drop .events() or serve without shards"
+                )
+            return ShardedEmbedderService(
+                scenario,
+                name,
+                shards,
+                shard_policy=shard_policy,
+                workers=shard_workers,
+                admission=admission,
+                admission_params=admission_params,
+                metrics_window=metrics_window,
+                checkpoint_every=checkpoint_every,
+            )
 
         scenario, algo, schedule = self._streaming_point(algorithm, seed)
         session = SimulationSession(

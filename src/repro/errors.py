@@ -41,3 +41,7 @@ class SimulationError(ReproError):
 
 class RegistryError(ReproError):
     """Raised for invalid component registrations (e.g. duplicate names)."""
+
+
+class ShardError(ReproError):
+    """Raised for invalid substrate partitions or sharded-service state."""

@@ -10,6 +10,7 @@ Examples::
     python -m repro.experiments fig16 --topology Iris --no-cache
     python -m repro.experiments fig_resilience --scale test --event-policy preempt
     python -m repro.experiments serve --scale test --admission queue-bound
+    python -m repro.experiments serve --scale test --shards 4
 
 ``serve`` stands up a live :class:`repro.serve.EmbedderService` (one
 algorithm behind a pluggable admission policy) and drives it with a
@@ -84,6 +85,7 @@ def _algo_kwargs(args) -> dict:
 def _print_registries() -> None:
     """Print every component registry (live contents, incl. third-party)."""
     import repro.serve  # noqa: F401  (registers the admission policies)
+    import repro.shard  # noqa: F401  (registers the shard policies)
 
     print("\nalgorithms (--algo):")
     for entry in registry.algorithm_registry.entries():
@@ -98,6 +100,8 @@ def _print_registries() -> None:
          registry.event_profile_registry),
         ("admission policies (serve --admission)",
          registry.admission_policy_registry),
+        ("shard policies (serve --shard-policy)",
+         registry.shard_policy_registry),
     ):
         print(f"\n{title}:")
         for entry in reg.entries():
@@ -221,6 +225,43 @@ def _render_serve(config: ExperimentConfig, args) -> int:
     from repro.utils.rng import child_rng, make_rng
 
     algorithm = (args.algo or ["OLIVE"])[0]
+    rng = child_rng(make_rng(args.seed), "serve-traffic")
+    slots = config.online_slots
+    report_every = max(1, slots // 5)
+
+    if args.shards:
+        service = (
+            Experiment(config)
+            .algorithms(algorithm)
+            .serve(
+                seed=args.seed,
+                admission=args.admission,
+                shards=args.shards,
+                shard_policy=args.shard_policy,
+            )
+        )
+        print(
+            f"  serving {algorithm} on {config.topology} across "
+            f"{service.num_shards} shards [{args.shard_policy}] for "
+            f"{slots} slots (admission={args.admission})"
+        )
+        with service:
+            for slot, batch in poisson_offers(service.scenario, slots, rng):
+                service.offer_many(batch)
+                service.advance_to(slot + 1)
+                if (slot + 1) % report_every == 0:
+                    print(f"  {service.metrics().describe()}")
+            metrics = service.metrics()
+            result = service.finish()
+        stats = result.cross_shard
+        print(
+            f"  done: {metrics.offers} offers, {metrics.accepted} accepted, "
+            f"{metrics.rejected} rejected; cross-shard "
+            f"{stats['commits']} committed / {stats['aborts']} aborted "
+            f"of {stats['attempts']} attempts"
+        )
+        return 0
+
     service = (
         Experiment(config)
         .algorithms(algorithm)
@@ -230,9 +271,6 @@ def _render_serve(config: ExperimentConfig, args) -> int:
             max_pending=args.max_pending,
         )
     )
-    rng = child_rng(make_rng(args.seed), "serve-traffic")
-    slots = config.online_slots
-    report_every = max(1, slots // 5)
     print(
         f"  serving {algorithm} on {config.topology} for {slots} slots "
         f"(admission={args.admission})"
@@ -342,6 +380,21 @@ def build_parser() -> argparse.ArgumentParser:
         help="serve target: bound on the scheduled-arrival queue "
         "(backpressure; default unbounded)",
     )
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        metavar="K",
+        help="serve target: partition the substrate into K shards and "
+        "serve with one worker process per shard",
+    )
+    parser.add_argument(
+        "--shard-policy",
+        default="kbalanced",
+        metavar="POLICY",
+        help="substrate partitioning policy for --shards (see 'list' "
+        "for registered policies)",
+    )
     parser.add_argument("--utilization", type=float, default=1.0)
     parser.add_argument("--repetitions", type=int, default=1)
     parser.add_argument("--seed", type=int, default=0)
@@ -421,6 +474,21 @@ def main(argv: list[str] | None = None) -> int:
                 f"unknown admission policy {args.admission!r}; known: "
                 f"{list(registry.admission_policy_registry.names())}"
             )
+        if args.shards is not None:
+            import repro.shard  # noqa: F401  (registers the shard policies)
+
+            if args.shards < 1:
+                parser.error("--shards must be >= 1")
+            if args.shard_policy not in registry.shard_policy_registry:
+                parser.error(
+                    f"unknown shard policy {args.shard_policy!r}; known: "
+                    f"{list(registry.shard_policy_registry.names())}"
+                )
+            if args.max_pending is not None:
+                parser.error(
+                    "--max-pending is not supported with --shards "
+                    "(the sharded tier has no scheduled-arrival queue)"
+                )
 
     set_default_runner(ParallelRunner.from_jobs(args.jobs))
     configure_cache(enabled=not args.no_cache, root=args.cache_dir)

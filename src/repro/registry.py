@@ -50,6 +50,7 @@ __all__ = [
     "efficiency_registry",
     "event_profile_registry",
     "admission_policy_registry",
+    "shard_policy_registry",
     "register_algorithm",
     "register_topology",
     "register_trace",
@@ -57,6 +58,7 @@ __all__ = [
     "register_efficiency",
     "register_event_profile",
     "register_admission_policy",
+    "register_shard_policy",
 ]
 
 #: A registered component factory (call signatures vary per family).
@@ -219,6 +221,9 @@ efficiency_registry = Registry("efficiency model", error=SimulationError)
 event_profile_registry = Registry("event profile", error=SimulationError)
 #: Service admission policies: ``factory(**params) -> AdmissionPolicy``.
 admission_policy_registry = Registry("admission policy", error=SimulationError)
+#: Substrate shard policies:
+#: ``factory(substrate, num_shards, rng) -> {NodeId: shard}``.
+shard_policy_registry = Registry("shard policy", error=SimulationError)
 
 register_algorithm = algorithm_registry.register
 register_topology = topology_registry.register
@@ -227,3 +232,4 @@ register_app_mix = app_mix_registry.register
 register_efficiency = efficiency_registry.register
 register_event_profile = event_profile_registry.register
 register_admission_policy = admission_policy_registry.register
+register_shard_policy = shard_policy_registry.register

@@ -1,0 +1,512 @@
+"""Substrate partitioning: K connected region shards + boundary ledger.
+
+The sharding policies live in :data:`repro.registry.shard_policy_registry`
+(``factory(substrate, num_shards, rng) → {node: shard}``), so third-party
+heuristics plug in exactly like algorithms or topologies. The built-ins
+follow the shape of distriopt's ``kbalanced`` graph partitioner: grow K
+regions outward from spread seed nodes, always extending the region with
+the least accumulated capacity, so regions stay connected by construction
+and capacity-balanced by greedy choice.
+
+:func:`partition_substrate` turns a policy's assignment into a
+:class:`SubstratePartition`: one induced sub-substrate per shard (node
+and link **insertion order preserved** from the source substrate, which
+is what makes a K=1 partition bit-identical to the unsharded network for
+tie-breaking purposes), the boundary links that cross shards, and a
+:class:`BoundaryLedger` — the two-phase reserve→commit/abort capacity
+account the frontend charges when it re-homes a request across a
+boundary link.
+
+Everything here is deterministic given ``(substrate, policy, seed)``:
+node scans run in insertion order, candidate selection breaks ties on
+``(capacity, insertion index)``, and the rng parameter exists for
+policies that want randomized refinement — the built-ins never draw
+from it.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from collections.abc import Mapping
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ShardError, TopologyError
+from repro.plan.pattern import ClassPlan, Plan
+from repro.registry import register_shard_policy, shard_policy_registry
+from repro.substrate.network import LinkId, NodeId, SubstrateNetwork
+from repro.substrate.tiers import Tier
+from repro.utils.rng import make_rng
+
+#: Capacity slack tolerated by the ledger before a reservation is refused
+#: (guards against float drift across repeated reserve/release cycles).
+LEDGER_EPS = 1e-9
+
+#: Growth preference rank per tier for the ``tier-aware`` policy: claim
+#: backbone (core) nodes first, edges last, so every region keeps its
+#: edge nodes attached to their transport/core uplinks.
+_TIER_RANK = {Tier.CORE: 0, Tier.TRANSPORT: 1, Tier.EDGE: 2}
+
+
+def _hop_distances(
+    substrate: SubstrateNetwork, source: NodeId
+) -> dict[NodeId, int]:
+    """BFS hop count from ``source`` to every node (insertion-order queue)."""
+    distances = {source: 0}
+    frontier = [source]
+    while frontier:
+        next_frontier: list[NodeId] = []
+        for node in frontier:
+            for neighbor, _ in substrate.adjacency[node]:
+                if neighbor not in distances:
+                    distances[neighbor] = distances[node] + 1
+                    next_frontier.append(neighbor)
+        frontier = next_frontier
+    return distances
+
+
+def _spread_seeds(
+    substrate: SubstrateNetwork,
+    num_shards: int,
+    candidates: list[NodeId],
+) -> list[NodeId]:
+    """K seed nodes spread by farthest-point traversal over ``candidates``.
+
+    The first seed is the highest-capacity candidate (ties: insertion
+    order); each next seed maximizes the minimum hop distance to the
+    seeds chosen so far (ties: higher capacity, then insertion order).
+    """
+    order = {node: i for i, node in enumerate(substrate.nodes)}
+    seeds = [
+        max(candidates, key=lambda v: (substrate.nodes[v].capacity, -order[v]))
+    ]
+    min_distance = dict(_hop_distances(substrate, seeds[0]))
+    while len(seeds) < num_shards:
+        chosen = max(
+            (v for v in candidates if v not in seeds),
+            key=lambda v: (
+                min_distance.get(v, 0),
+                substrate.nodes[v].capacity,
+                -order[v],
+            ),
+        )
+        seeds.append(chosen)
+        for node, distance in _hop_distances(substrate, chosen).items():
+            if distance < min_distance.get(node, distance + 1):
+                min_distance[node] = distance
+    return seeds
+
+
+def _grow_regions(
+    substrate: SubstrateNetwork,
+    seeds: list[NodeId],
+    prefer: "dict[NodeId, int] | None" = None,
+) -> dict[NodeId, int]:
+    """Grow one connected region per seed, balancing accumulated capacity.
+
+    Each step extends the open region with the least accumulated node
+    capacity (ties: lower shard id) by its best frontier node —
+    ``prefer`` rank first (lower is better) when given, then higher
+    capacity, then insertion order. Regions only ever extend along
+    substrate links, so each is connected by construction; in a
+    connected substrate every node is eventually some region's frontier,
+    so the assignment always covers the whole node set.
+    """
+    order = {node: i for i, node in enumerate(substrate.nodes)}
+    assignment: dict[NodeId, int] = {}
+    frontiers: list[set[NodeId]] = [set() for _ in seeds]
+    weights = [0.0 for _ in seeds]
+
+    def claim(node: NodeId, shard: int) -> None:
+        assignment[node] = shard
+        weights[shard] += substrate.nodes[node].capacity
+        for neighbor, _ in substrate.adjacency[node]:
+            if neighbor not in assignment:
+                frontiers[shard].add(neighbor)
+
+    for shard, seed in enumerate(seeds):
+        claim(seed, shard)
+    while len(assignment) < substrate.num_nodes:
+        shard = min(
+            (s for s in range(len(seeds)) if frontiers[s]),
+            key=lambda s: (weights[s], s),
+        )
+        frontiers[shard] -= assignment.keys()
+        node = min(
+            frontiers[shard],
+            key=lambda v: (
+                prefer[v] if prefer is not None else 0,
+                -substrate.nodes[v].capacity,
+                order[v],
+            ),
+        )
+        frontiers[shard].discard(node)
+        claim(node, shard)
+    return assignment
+
+
+@register_shard_policy(
+    "kbalanced",
+    description="capacity-balanced seeded region growth (distriopt-style)",
+)
+def _kbalanced(
+    substrate: SubstrateNetwork, num_shards: int, rng: np.random.Generator
+) -> dict[NodeId, int]:
+    """Greedy capacity-balanced growth from farthest-spread seeds."""
+    seeds = _spread_seeds(substrate, num_shards, list(substrate.nodes))
+    return _grow_regions(substrate, seeds)
+
+
+@register_shard_policy(
+    "tier-aware",
+    description="kbalanced growth seeded on core nodes, claiming "
+    "backbone tiers first",
+)
+def _tier_aware(
+    substrate: SubstrateNetwork, num_shards: int, rng: np.random.Generator
+) -> dict[NodeId, int]:
+    """Capacity-balanced growth that keeps regions tier-shaped.
+
+    Seeds sit on core nodes when there are at least K of them (every
+    shard owns a slice of the backbone), and growth claims core before
+    transport before edge, so edge nodes join the region that already
+    holds their uplink instead of being orphaned across a boundary.
+    """
+    cores = substrate.core_nodes
+    candidates = cores if len(cores) >= num_shards else list(substrate.nodes)
+    seeds = _spread_seeds(substrate, num_shards, candidates)
+    prefer = {
+        node: _TIER_RANK[attrs.tier]
+        for node, attrs in substrate.nodes.items()
+    }
+    return _grow_regions(substrate, seeds, prefer=prefer)
+
+
+@dataclass(frozen=True)
+class ShardRegion:
+    """One shard: its induced sub-substrate and summary attributes."""
+
+    shard_id: int
+    #: Induced sub-substrate (insertion order inherited from the source).
+    substrate: SubstrateNetwork
+    #: Member node ids, in source insertion order.
+    nodes: tuple[NodeId, ...]
+    #: Total member node capacity (the balance measure).
+    capacity: float
+
+
+@dataclass(frozen=True)
+class SubstratePartition:
+    """A substrate cut into K connected region shards.
+
+    ``assignment`` maps every node to its shard; ``boundary_links`` are
+    the links whose endpoints live in different shards (classified out
+    of every sub-substrate), in source insertion order. Build one with
+    :func:`partition_substrate`.
+    """
+
+    source: SubstrateNetwork
+    policy: str
+    seed: int
+    num_shards: int
+    assignment: Mapping[NodeId, int]
+    shards: tuple[ShardRegion, ...]
+    boundary_links: tuple[LinkId, ...]
+
+    def shard_of(self, node: NodeId) -> int:
+        """The shard owning ``node`` (unknown nodes raise)."""
+        try:
+            return self.assignment[node]
+        except KeyError:
+            raise ShardError(
+                f"node {node!r} is not part of substrate "
+                f"{self.source.name!r}"
+            ) from None
+
+    def boundary_between(self, a: int, b: int) -> tuple[LinkId, ...]:
+        """Boundary links joining shards ``a`` and ``b``, insertion order."""
+        return tuple(
+            link
+            for link in self.boundary_links
+            if {self.assignment[link[0]], self.assignment[link[1]]} == {a, b}
+        )
+
+    def neighbor_shards(self, shard: int) -> tuple[int, ...]:
+        """Shards reachable from ``shard`` over ≥1 boundary link, ascending."""
+        found = set()
+        for a, b in self.boundary_links:
+            shard_a, shard_b = self.assignment[a], self.assignment[b]
+            if shard == shard_a:
+                found.add(shard_b)
+            elif shard == shard_b:
+                found.add(shard_a)
+        return tuple(sorted(found))
+
+    def make_ledger(self) -> "BoundaryLedger":
+        """A fresh two-phase capacity ledger over the boundary links."""
+        return BoundaryLedger(
+            {link: self.source.links[link].capacity
+             for link in self.boundary_links}
+        )
+
+    def summary(self) -> dict:
+        """One diagnostics row per partition (balance, boundary size)."""
+        capacities = [region.capacity for region in self.shards]
+        return {
+            "policy": self.policy,
+            "num_shards": self.num_shards,
+            "nodes_per_shard": [len(r.nodes) for r in self.shards],
+            "capacity_per_shard": capacities,
+            "capacity_imbalance": (
+                max(capacities) / min(capacities) if min(capacities) else
+                float("inf")
+            ),
+            "boundary_links": len(self.boundary_links),
+            "boundary_fraction": (
+                len(self.boundary_links) / self.source.num_links
+                if self.source.num_links
+                else 0.0
+            ),
+        }
+
+
+def partition_substrate(
+    substrate: SubstrateNetwork,
+    num_shards: int,
+    policy: str = "kbalanced",
+    seed: int = 0,
+) -> SubstratePartition:
+    """Cut ``substrate`` into ``num_shards`` connected region shards.
+
+    The named policy (see :data:`repro.registry.shard_policy_registry`)
+    produces the node→shard assignment; this function validates it
+    (total coverage, every shard non-empty) and materializes the
+    per-shard sub-substrates and the boundary classification. Each
+    sub-substrate must be connected — a policy returning a fragmented
+    region is a contract violation and raises :class:`ShardError`.
+    """
+    if num_shards < 1:
+        raise ShardError(f"need at least one shard (got {num_shards})")
+    if num_shards > substrate.num_nodes:
+        raise ShardError(
+            f"cannot cut {substrate.num_nodes} nodes into "
+            f"{num_shards} shards"
+        )
+    rng = make_rng(seed)
+    assignment = dict(
+        shard_policy_registry.create(policy, substrate, num_shards, rng)
+    )
+    if set(assignment) != set(substrate.nodes):
+        missing = sorted(set(substrate.nodes) - set(assignment))
+        extra = sorted(set(assignment) - set(substrate.nodes))
+        raise ShardError(
+            f"shard policy {policy!r} broke coverage: "
+            f"missing={missing[:5]} extra={extra[:5]}"
+        )
+    shard_ids = set(assignment.values())
+    if shard_ids != set(range(num_shards)):
+        raise ShardError(
+            f"shard policy {policy!r} assigned shard ids {sorted(shard_ids)}; "
+            f"expected exactly 0..{num_shards - 1} (every shard non-empty)"
+        )
+
+    # Induced sub-substrates, preserving the source's node and link
+    # insertion order — SubstrateIndex tie-breaking depends on it, and a
+    # K=1 sub-substrate must reproduce the unsharded order exactly.
+    member_nodes: list[dict] = [{} for _ in range(num_shards)]
+    for node, attrs in substrate.nodes.items():
+        member_nodes[assignment[node]][node] = attrs
+    member_links: list[dict] = [{} for _ in range(num_shards)]
+    boundary: list[LinkId] = []
+    for link, attrs in substrate.links.items():
+        a, b = assignment[link[0]], assignment[link[1]]
+        if a == b:
+            member_links[a][link] = attrs
+        else:
+            boundary.append(link)
+
+    shards = []
+    for shard in range(num_shards):
+        try:
+            sub = SubstrateNetwork(
+                name=f"{substrate.name}/shard{shard}of{num_shards}",
+                nodes=member_nodes[shard],
+                links=member_links[shard],
+            )
+        except TopologyError as error:
+            raise ShardError(
+                f"shard policy {policy!r} produced a fragmented region "
+                f"(shard {shard} of {num_shards} on "
+                f"{substrate.name!r}): {error}"
+            ) from error
+        shards.append(
+            ShardRegion(
+                shard_id=shard,
+                substrate=sub,
+                nodes=tuple(member_nodes[shard]),
+                capacity=sum(
+                    attrs.capacity for attrs in member_nodes[shard].values()
+                ),
+            )
+        )
+    return SubstratePartition(
+        source=substrate,
+        policy=policy,
+        seed=seed,
+        num_shards=num_shards,
+        assignment=assignment,
+        shards=tuple(shards),
+        boundary_links=tuple(boundary),
+    )
+
+
+@dataclass
+class _Reservation:
+    link: LinkId
+    load: float
+    committed: bool = False
+
+
+class BoundaryLedger:
+    """Two-phase capacity account over the boundary links.
+
+    The frontend *reserves* boundary capacity before forwarding a
+    cross-shard request to a remote worker, then *commits* the
+    reservation (holding it until the request's departure slot) when the
+    remote shard accepts, or *aborts* it (restoring the capacity
+    immediately) when it rejects. :meth:`advance` releases committed
+    holds whose departure slot has been reached. All bookkeeping is
+    plain floats keyed in boundary-link insertion order — deterministic
+    and single-threaded (only the frontend touches the ledger).
+    """
+
+    def __init__(self, capacities: Mapping[LinkId, float]) -> None:
+        self.capacities = dict(capacities)
+        self._residual = dict(self.capacities)
+        self._reservations: dict[int, _Reservation] = {}
+        self._releases: list[tuple[int, int]] = []  # (release slot, token)
+        self._tokens = itertools.count()
+        self.reserved = 0
+        self.committed = 0
+        self.aborted = 0
+        self.released = 0
+
+    def residual(self, link: LinkId) -> float:
+        """Uncommitted capacity left on one boundary link."""
+        try:
+            return self._residual[link]
+        except KeyError:
+            raise ShardError(
+                f"link {link!r} is not a boundary link of this partition"
+            ) from None
+
+    @property
+    def outstanding(self) -> int:
+        """Reservations neither aborted nor released yet."""
+        return len(self._reservations)
+
+    def try_reserve(self, link: LinkId, load: float) -> "int | None":
+        """Phase one: hold ``load`` on ``link``; None when it won't fit."""
+        if load <= 0:
+            raise ShardError(
+                f"boundary reservation load must be positive (got {load})"
+            )
+        residual = self.residual(link)
+        if load > residual + LEDGER_EPS:
+            return None
+        self._residual[link] = residual - load
+        token = next(self._tokens)
+        self._reservations[token] = _Reservation(link=link, load=load)
+        self.reserved += 1
+        return token
+
+    def _pending(self, token: int, verb: str) -> _Reservation:
+        reservation = self._reservations.get(token)
+        if reservation is None:
+            raise ShardError(
+                f"cannot {verb} unknown reservation token {token}"
+            )
+        if reservation.committed:
+            raise ShardError(
+                f"cannot {verb} reservation {token}: already committed"
+            )
+        return reservation
+
+    def commit(self, token: int, release_slot: int) -> None:
+        """Phase two (accept): hold the capacity until ``release_slot``."""
+        reservation = self._pending(token, "commit")
+        reservation.committed = True
+        heapq.heappush(self._releases, (release_slot, token))
+        self.committed += 1
+
+    def abort(self, token: int) -> None:
+        """Phase two (reject): give the reserved capacity straight back."""
+        reservation = self._pending(token, "abort")
+        self._residual[reservation.link] += reservation.load
+        del self._reservations[token]
+        self.aborted += 1
+
+    def advance(self, slot: int) -> int:
+        """Release committed holds with ``release_slot <= slot``.
+
+        Mirrors the session's departure handling: a request departing at
+        slot ``d`` frees its boundary capacity when the clock reaches
+        ``d``. Returns how many holds were released.
+        """
+        count = 0
+        while self._releases and self._releases[0][0] <= slot:
+            _, token = heapq.heappop(self._releases)
+            reservation = self._reservations.pop(token)
+            self._residual[reservation.link] += reservation.load
+            self.released += 1
+            count += 1
+        return count
+
+
+def restrict_plan(plan: Plan, region: SubstrateNetwork) -> Plan:
+    """The slice of ``plan`` a shard's algorithm can actually use.
+
+    A class survives when its ingress lies in the region; a pattern
+    survives when every mapped node and every routed link does. Dropped
+    patterns simply lower the class's allocated fraction — OLIVE already
+    treats un-planned demand by falling through to greedy, so no
+    re-normalization is needed. With a whole-substrate region (K=1) the
+    restriction keeps everything, preserving bit-identical plan residual
+    accounting versus the unsharded service.
+    """
+    nodes = region.nodes.keys()
+    links = region.links.keys()
+    classes = {}
+    for key, class_plan in plan.classes.items():
+        if key[1] not in nodes:
+            continue
+        patterns = [
+            pattern
+            for pattern in class_plan.patterns
+            if all(node in nodes for node in pattern.node_map.values())
+            and all(
+                link in links
+                for path in pattern.link_paths.values()
+                for link in path
+            )
+        ]
+        if not patterns:
+            continue
+        classes[key] = ClassPlan(
+            aggregate=class_plan.aggregate,
+            patterns=patterns,
+            rejected_fraction=class_plan.rejected_fraction,
+        )
+    return Plan(classes=classes, objective=plan.objective)
+
+
+__all__ = [
+    "BoundaryLedger",
+    "LEDGER_EPS",
+    "ShardRegion",
+    "SubstratePartition",
+    "partition_substrate",
+    "restrict_plan",
+]
